@@ -1,0 +1,45 @@
+# MPICH-GQ reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench results figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -timeout 1800s
+
+# Skips the slow binary-search and ablation sweeps.
+test-short:
+	$(GO) test ./... -short -timeout 600s
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx -timeout 1800s .
+
+# Paper-length regeneration of every table and figure (takes a while).
+results:
+	$(GO) run ./cmd/garnet -exp all -scale 1 -svgdir docs/figures > RESULTS.txt
+
+figures:
+	$(GO) run ./cmd/garnet -exp fig1 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig5 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig6 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig7 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig8 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig9 -svgdir docs/figures >/dev/null
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/visualization
+	$(GO) run ./examples/cpureserve
+	$(GO) run ./examples/collectives
+	$(GO) run ./examples/advance
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,228 @@
+// Command garnet drives the reproduction experiments: it rebuilds the
+// GARNET testbed in simulation and regenerates any table or figure
+// from the paper's evaluation.
+//
+// Usage:
+//
+//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|table1|isvsds|latency|ablations|all
+//	       [-scale 1.0] [-seed 1] [-svgdir dir]
+//	garnet -topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpichgq/internal/experiments"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/trace"
+)
+
+// svgDir, when set via -svgdir, receives one SVG figure per
+// experiment in addition to the textual output.
+var svgDir string
+
+func main() {
+	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, table1, isvsds, latency, ablations, all")
+	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	topo := flag.Bool("topology", false, "print the testbed topology and exit")
+	flag.StringVar(&svgDir, "svgdir", "", "directory to write SVG figures into (optional)")
+	flag.Parse()
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *topo {
+		fmt.Print(garnet.New(*seed).Topology())
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, TimeScale: *scale}
+	run := func(id string) {
+		switch id {
+		case "fig1":
+			runFig1(cfg)
+		case "fig5":
+			r := experiments.RunFigure5(cfg)
+			tbl := experiments.Figure5Table(r)
+			fmt.Print(tbl.String())
+			var series []trace.Series
+			for _, size := range r.MessageSizes {
+				var xs, ys []float64
+				for _, pt := range r.Curves[size] {
+					xs = append(xs, pt.Reservation.Kbps())
+					ys = append(ys, pt.Throughput.Kbps())
+				}
+				series = append(series, trace.XYSeries(fmt.Sprintf("%dKb msgs", size.Bits()/1000), xs, ys))
+			}
+			writeSVG("fig5", trace.Plot{
+				Title:  "Figure 5: ping-pong throughput vs reservation",
+				XLabel: "one-way reservation (Kb/s)", YLabel: "one-way throughput (Kb/s)",
+				Series: series,
+			})
+		case "fig6":
+			r := experiments.RunFigure6(cfg)
+			tbl := experiments.Figure6Table(r)
+			fmt.Print(tbl.String())
+			var series []trace.Series
+			for _, offered := range r.Offered {
+				var xs, ys []float64
+				for _, pt := range r.Curves[offered] {
+					xs = append(xs, pt.Reservation.Kbps())
+					ys = append(ys, pt.Achieved.Kbps())
+				}
+				series = append(series, trace.XYSeries(fmt.Sprintf("attempting %.0fKb/s", offered.Kbps()), xs, ys))
+			}
+			writeSVG("fig6", trace.Plot{
+				Title:  "Figure 6: visualization app vs reservation",
+				XLabel: "reservation (Kb/s)", YLabel: "achieved (Kb/s)",
+				Series: series,
+			})
+		case "fig7":
+			runFig7(cfg)
+		case "fig8":
+			runFig8(cfg)
+		case "fig9":
+			runFig9(cfg)
+		case "table1":
+			fmt.Print(experiments.Table1Render(experiments.RunTable1(cfg)))
+		case "isvsds":
+			tbl := experiments.ISvsDSTable(experiments.RunISvsDS(cfg, 8))
+			fmt.Print(tbl.String())
+		case "latency":
+			tbl := experiments.LatencyTable(experiments.RunLatency(cfg))
+			fmt.Print(tbl.String())
+		case "ablations":
+			fmt.Print(experiments.AblationBucketDepth(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationShaping(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationEagerThreshold(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationSocketBuffers(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationOverheadFactor(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationEraTCP(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "isvsds", "latency", "ablations"} {
+			fmt.Printf("=== %s ===\n", id)
+			run(id)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}
+
+// writeSVG stores a plot when -svgdir is set.
+func writeSVG(name string, p trace.Plot) {
+	if svgDir == "" {
+		return
+	}
+	path := filepath.Join(svgDir, name+".svg")
+	if err := os.WriteFile(path, []byte(p.SVG()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+func runFig1(cfg experiments.Config) {
+	r := experiments.RunFigure1(cfg)
+	fmt.Printf("Figure 1: TCP flow offered %v with a %v reservation under contention\n",
+		r.Offered, r.Reserved)
+	fmt.Printf("mean %v, oscillating %v..%v\n", r.Mean, r.Min, r.Max)
+	fmt.Print(r.Bandwidth.String())
+	writeSVG("fig1", trace.Plot{
+		Title:  "Figure 1: TCP flow with a too-small reservation",
+		XLabel: "time (s)", YLabel: "bandwidth (Kb/s)",
+		Series: []trace.Series{r.Bandwidth},
+	})
+}
+
+func runFig7(cfg experiments.Config) {
+	r := experiments.RunFigure7(cfg)
+	fmt.Println("Figure 7: TCP sequence traces, both at 400 Kb/s (1 s window)")
+	fmt.Printf("10 fps x 40 Kb frames: %d segments, max 100 ms burst %v\n",
+		len(r.Smooth), r.SmoothBurst)
+	for _, p := range r.Smooth {
+		fmt.Printf("  %.3f\t%.1f Kb%s\n", p.T.Seconds(), float64(p.Seq)*8/1000, retxMark(p.Retx))
+	}
+	fmt.Printf("1 fps x 400 Kb frames: %d segments, max 100 ms burst %v\n",
+		len(r.Bursty), r.BurstyBurst)
+	for _, p := range r.Bursty {
+		fmt.Printf("  %.3f\t%.1f Kb%s\n", p.T.Seconds(), float64(p.Seq)*8/1000, retxMark(p.Retx))
+	}
+	seqSeries := func(name string, pts []trace.SeqPoint) trace.Series {
+		s := trace.Series{Name: name}
+		for _, p := range pts {
+			s.Points = append(s.Points, trace.Point{T: p.T, V: float64(p.Seq) * 8 / 1000})
+		}
+		return s
+	}
+	writeSVG("fig7", trace.Plot{
+		Title:  "Figure 7: sequence traces, 400 Kb/s at two burstiness levels",
+		XLabel: "time (s)", YLabel: "sequence number (Kb)",
+		Scatter: true,
+		Series: []trace.Series{
+			seqSeries("10 fps x 40Kb", r.Smooth),
+			seqSeries("1 fps x 400Kb", r.Bursty),
+		},
+	})
+}
+
+func retxMark(retx bool) string {
+	if retx {
+		return "  (retransmit)"
+	}
+	return ""
+}
+
+func runFig8(cfg experiments.Config) {
+	r := experiments.RunFigure8(cfg)
+	fmt.Println("Figure 8: CPU contention at 10 s, 90% DSRT reservation at 20 s")
+	t := trace.Table{Headers: []string{"phase", "mean bandwidth"}}
+	t.Add("quiet (0-10s)", r.QuietMean.String())
+	t.Add("CPU contention (10-20s)", r.ContendedMean.String())
+	t.Add("CPU reservation (20-30s)", r.ReservedMean.String())
+	fmt.Print(t.String())
+	fmt.Print(r.Bandwidth.String())
+	writeSVG("fig8", trace.Plot{
+		Title:  "Figure 8: CPU contention at 10s, DSRT reservation at 20s",
+		XLabel: "time (s)", YLabel: "bandwidth (Kb/s)",
+		Series: []trace.Series{r.Bandwidth},
+	})
+}
+
+func runFig9(cfg experiments.Config) {
+	r := experiments.RunFigure9(cfg)
+	fmt.Println("Figure 9: 35 Mb/s stream; net congestion @10s, net reservation @20s, CPU contention @30s, CPU reservation @40s")
+	t := trace.Table{Headers: []string{"phase", "mean bandwidth"}}
+	t.Add("clean (0-10s)", r.Clean.String())
+	t.Add("network congestion (10-20s)", r.NetCongested.String())
+	t.Add("network reservation (20-30s)", r.NetReserved.String())
+	t.Add("+CPU contention (30-40s)", r.CPUContended.String())
+	t.Add("+CPU reservation (40-50s)", r.CPUReserved.String())
+	fmt.Print(t.String())
+	fmt.Print(r.Bandwidth.String())
+	writeSVG("fig9", trace.Plot{
+		Title:  "Figure 9: network and CPU reservations combined",
+		XLabel: "time (s)", YLabel: "bandwidth (Kb/s)",
+		Series: []trace.Series{r.Bandwidth},
+	})
+}

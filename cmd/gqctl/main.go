@@ -1,0 +1,120 @@
+// Command gqctl demonstrates GARA administration against a live
+// scenario: it builds the testbed, issues immediate and advance
+// reservations across the three resource types, and dumps the
+// resulting slot-table and router state at several points in virtual
+// time — the view an external QoS agent or bandwidth-broker operator
+// would have.
+//
+//	gqctl [-at 5s,15s,25s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/trace"
+	"mpichgq/internal/units"
+)
+
+func main() {
+	atFlag := flag.String("at", "5s,15s,25s", "comma-separated virtual times to dump state at")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	tb := garnet.New(*seed)
+	cpu := dsrt.NewCPU(tb.K, "prem-src-cpu")
+	task := cpu.NewTask("app")
+	dpss := gara.NewDPSS(tb.K, "dpss", 100*units.Mbps)
+	tb.Gara.Manager(gara.ResourceStorage) // registered by the testbed
+
+	flow := diffserv.MatchHostPair(tb.PremSrc.Addr(), tb.PremDst.Addr(), netsim.ProtoTCP)
+
+	// An immediate network reservation...
+	r1, err := tb.Gara.Reserve(gara.Spec{
+		Type: gara.ResourceNetwork, Flow: flow, Bandwidth: 40 * units.Mbps,
+	})
+	must(err)
+	fmt.Printf("immediate network reservation %d: %v, window %v\n", r1.ID(), r1.State(), fmtWindow(r1))
+
+	// ...an advance reservation for t=10s..20s...
+	r2, err := tb.Gara.Reserve(gara.Spec{
+		Type: gara.ResourceNetwork, Flow: flow, Bandwidth: 30 * units.Mbps,
+		Start: 10 * time.Second, Duration: 10 * time.Second,
+	})
+	must(err)
+	r2.OnChange(func(r *gara.Reservation, s gara.State) {
+		fmt.Printf("  [t=%v] reservation %d -> %v\n", tb.K.Now(), r.ID(), s)
+	})
+	fmt.Printf("advance network reservation %d: %v, window %v\n", r2.ID(), r2.State(), fmtWindow(r2))
+
+	// ...and a co-reservation of CPU + storage.
+	rs, err := tb.Gara.CoReserve(
+		gara.Spec{Type: gara.ResourceCPU, Task: task, Fraction: 0.8},
+		gara.Spec{Type: gara.ResourceStorage, Store: dpss, ReadRate: 60 * units.Mbps},
+	)
+	must(err)
+	fmt.Printf("co-reservation: cpu %d (%v) + storage %d (%v)\n\n",
+		rs[0].ID(), rs[0].State(), rs[1].ID(), rs[1].State())
+
+	var times []time.Duration
+	for _, s := range strings.Split(*atFlag, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(s))
+		must(err)
+		times = append(times, d)
+	}
+	for _, at := range times {
+		must(tb.K.RunUntil(at))
+		dump(tb, task, dpss)
+	}
+}
+
+func dump(tb *garnet.Testbed, task *dsrt.Task, dpss *gara.DPSS) {
+	fmt.Printf("=== state at t=%v ===\n", tb.K.Now())
+	t := trace.Table{Headers: []string{"link (direction)", "EF capacity", "committed", "utilization"}}
+	for _, l := range tb.Net.Links() {
+		for _, dir := range []struct {
+			label string
+			out   *netsim.Iface
+		}{
+			{l.A().Node().Name() + "->" + l.B().Node().Name(), l.A()},
+			{l.B().Node().Name() + "->" + l.A().Node().Name(), l.B()},
+		} {
+			st := tb.NetRM.Table(dir.out)
+			committed := st.CommittedAt(tb.K.Now())
+			if committed == 0 {
+				continue // only show directions carrying reservations
+			}
+			t.Add(dir.label,
+				units.BitRate(st.Capacity()).String(),
+				units.BitRate(committed).String(),
+				fmt.Sprintf("%.0f%%", 100*committed/st.Capacity()))
+		}
+	}
+	if len(t.Rows) == 0 {
+		t.Add("(no network reservations)", "", "", "")
+	}
+	fmt.Print(t.String())
+	fmt.Printf("DSRT: task %q reservation %.0f%%\n", task.Name(), 100*task.Reservation())
+	fmt.Printf("DPSS: %v of %v reserved\n\n", dpss.ReservedRate(), dpss.Capacity())
+}
+
+func fmtWindow(r *gara.Reservation) string {
+	s, e := r.Window()
+	if e == gara.Forever {
+		return fmt.Sprintf("[%v, forever)", s)
+	}
+	return fmt.Sprintf("[%v, %v)", s, e)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

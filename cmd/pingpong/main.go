@@ -1,0 +1,100 @@
+// Command pingpong runs the §5.2 ping-pong benchmark standalone: two
+// MPI ranks exchanging fixed-size messages across the simulated
+// testbed, with optional contention and a premium reservation.
+//
+//	pingpong -msg 120 -reserve 8000 -contend -dur 20s
+//
+// measures one 120 Kb message size at one 8 Mb/s one-way reservation.
+// A -sweep flag reproduces one full Figure 5 curve instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	gq "mpichgq/internal/core"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+func main() {
+	msgKb := flag.Int("msg", 120, "message size in kilobits")
+	reserveKb := flag.Int("reserve", 0, "one-way reservation in Kb/s (0 = best effort)")
+	contend := flag.Bool("contend", true, "run the UDP contention generator")
+	dur := flag.Duration("dur", 20*time.Second, "measurement duration (virtual time)")
+	sweep := flag.Bool("sweep", false, "sweep reservations for this message size (one Figure 5 curve)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	size := units.ByteSize(*msgKb) * units.Kbit
+	if *sweep {
+		fmt.Printf("ping-pong sweep: %d Kb messages, contention=%v\n", *msgKb, *contend)
+		fmt.Printf("%-14s %s\n", "reservation", "one-way throughput")
+		for _, rsv := range []units.BitRate{
+			500 * units.Kbps, units.Mbps, 2 * units.Mbps, 4 * units.Mbps,
+			8 * units.Mbps, 16 * units.Mbps, 32 * units.Mbps, 48 * units.Mbps,
+		} {
+			tput := run(*seed, size, rsv, *contend, *dur)
+			fmt.Printf("%-14v %v\n", rsv, tput)
+		}
+		return
+	}
+	rsv := units.BitRate(*reserveKb) * units.Kbps
+	tput := run(*seed, size, rsv, *contend, *dur)
+	fmt.Printf("message %d Kb, reservation %v, contention %v: one-way throughput %v\n",
+		*msgKb, rsv, *contend, tput)
+}
+
+func run(seed int64, size units.ByteSize, rsv units.BitRate, contend bool, dur time.Duration) units.BitRate {
+	tb := garnet.New(seed)
+	if contend {
+		bl := &trafficgen.UDPBlaster{Rate: 160 * units.Mbps, Jitter: 0.1}
+		if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+			panic(err)
+		}
+	}
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
+	agent := gq.NewAgent(tb.Gara, job)
+	agent.OverheadFactor = 1.0 // the -reserve flag is the raw network value
+	var oneWay units.ByteSize
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		pc, err := r.PairComm(ctx, 1-r.ID())
+		if err != nil {
+			panic(err)
+		}
+		if rsv > 0 {
+			attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: rsv}
+			if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+				panic(err)
+			}
+		}
+		peer := 1 - r.RankIn(pc)
+		for ctx.Now() < dur {
+			if r.ID() == 0 {
+				if err := r.Send(ctx, pc, peer, 0, size, nil); err != nil {
+					return
+				}
+				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+					return
+				}
+				oneWay += size
+			} else {
+				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+					return
+				}
+				if err := r.Send(ctx, pc, peer, 0, size, nil); err != nil {
+					return
+				}
+			}
+		}
+	})
+	if err := tb.K.RunUntil(dur); err != nil {
+		panic(err)
+	}
+	return units.RateOf(oneWay, dur)
+}

@@ -1,0 +1,148 @@
+// Advance reservations: GARA's slot-table booking ahead of time,
+// mediated by a policy-enforcing bandwidth broker.
+//
+// Two users share the testbed. Alice books 60 Mb/s for a transfer
+// window starting at t=10s; Bob tries to book an overlapping 60 Mb/s
+// (admission control refuses: the EF share of the bottleneck is
+// ~108 Mb/s) and settles for the window after hers. The program then
+// runs both transfers and shows each one getting its bandwidth inside
+// its window.
+//
+//	go run ./examples/advance
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/broker"
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/trace"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+func main() {
+	tb := garnet.New(1)
+	// Background contention throughout.
+	bl := &trafficgen.UDPBlaster{Rate: 160 * units.Mbps, Jitter: 0.1}
+	if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+		panic(err)
+	}
+
+	bk := broker.New(tb.Gara, broker.Policy{
+		MaxBandwidth: 80 * units.Mbps,
+		MaxDuration:  time.Minute,
+		MaxAdvance:   time.Hour,
+	})
+
+	sa := tcpsim.NewStack(tb.PremSrc, tcpsim.DefaultOptions())
+	sb := tcpsim.NewStack(tb.PremDst, tcpsim.DefaultOptions())
+
+	// Two premium flows on distinct ports.
+	mkSpec := func(port netsim.Port, start time.Duration) gara.Spec {
+		p := port
+		tcp := netsim.ProtoTCP
+		src, dst := tb.PremSrc.Addr(), tb.PremDst.Addr()
+		return gara.Spec{
+			Type:      gara.ResourceNetwork,
+			Flow:      diffserv.Match{Src: &src, Dst: &dst, DstPort: &p, Proto: &tcp},
+			Bandwidth: 60 * units.Mbps,
+			Start:     start,
+			Duration:  10 * time.Second,
+		}
+	}
+	alice, err := bk.Request("alice", mkSpec(8001, 10*time.Second))
+	must(err)
+	fmt.Printf("alice: 60 Mb/s booked for [10s, 20s): %v\n", alice.State())
+
+	if _, err := bk.Request("bob", mkSpec(8002, 12*time.Second)); err != nil {
+		fmt.Printf("bob:   overlapping request refused: %v\n", err)
+	}
+	bob, err := bk.Request("bob", mkSpec(8002, 20*time.Second))
+	must(err)
+	fmt.Printf("bob:   60 Mb/s booked for [20s, 30s): %v\n\n", bob.State())
+
+	// Both transfers run the whole time; each one's bandwidth trace
+	// shows its reservation window.
+	traces := map[string]*trace.BandwidthTrace{
+		"alice": trace.NewBandwidthTrace(time.Second),
+		"bob":   trace.NewBandwidthTrace(time.Second),
+	}
+	for _, u := range []struct {
+		name        string
+		port        netsim.Port
+		start, stop time.Duration
+	}{
+		{"alice", 8001, 10 * time.Second, 20 * time.Second},
+		{"bob", 8002, 20 * time.Second, 30 * time.Second},
+	} {
+		u := u
+		tb.K.Spawn(u.name+"-server", func(ctx *sim.Ctx) {
+			l, err := sb.Listen(u.port)
+			must(err)
+			c, err := l.Accept(ctx)
+			if err != nil {
+				return
+			}
+			for {
+				n, err := c.Read(ctx, 256*units.KB)
+				traces[u.name].Add(ctx.Now(), n)
+				if err != nil {
+					return
+				}
+			}
+		})
+		// Each transfer runs inside its reserved window, as a real
+		// user with an advance booking would.
+		tb.K.SpawnAt(u.start, u.name+"-client", func(ctx *sim.Ctx) {
+			c, err := sa.Dial(ctx, tb.PremDst.Addr(), u.port)
+			must(err)
+			gap := (50 * units.Mbps).TimeToSend(6250)
+			for ctx.Now() < u.stop {
+				if err := c.Write(ctx, 6250); err != nil {
+					return
+				}
+				ctx.Sleep(gap)
+			}
+			c.Close()
+		})
+	}
+	must(tb.K.RunUntil(31 * time.Second))
+
+	fmt.Println("  time      alice        bob")
+	a := traces["alice"].Series("alice").Points
+	b := traces["bob"].Series("bob").Points
+	val := func(pts []trace.Point, i int) float64 {
+		if i < len(pts) {
+			return pts[i].V
+		}
+		return 0
+	}
+	for i := 0; i < 30; i++ {
+		fmt.Printf("  %4.1fs  %8.0f Kb/s  %8.0f Kb/s\n",
+			float64(i)+0.5, val(a, i), val(b, i))
+	}
+	fmt.Println("\nEach flow only achieves its rate inside its reserved window —")
+	fmt.Println("the slot table admitted the two 60 Mb/s bookings back to back")
+	fmt.Println("because together they never exceed the bottleneck's EF share.")
+	fmt.Println("\nbroker audit log:")
+	for _, d := range bk.Decisions() {
+		verdict := "DENY "
+		if d.Granted {
+			verdict = "GRANT"
+		}
+		fmt.Printf("  t=%-4v %s %-6s %v %s\n", d.T, verdict, d.Who, d.Spec.Bandwidth, d.Reason)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mpichgq
+
+go 1.22

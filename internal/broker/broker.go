@@ -1,0 +1,161 @@
+// Package broker implements the bandwidth broker the paper places in
+// front of the routers: "admission control is performed not by the
+// router but by an external QoS system, usually referred to as a
+// bandwidth broker" (§2), with GARA's "policy-driven management of a
+// variety of resource types" (§4.2).
+//
+// The broker sits above GARA: principals (users, projects) submit
+// reservation requests; the broker enforces per-principal policy
+// (bandwidth quota, duration and advance-booking limits), keeps an
+// auditable decision log, and only then forwards admitted requests to
+// GARA's slot-table admission.
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/gara"
+	"mpichgq/internal/units"
+)
+
+// Principal identifies a requesting user or project.
+type Principal string
+
+// Policy bounds one principal's reservations.
+type Policy struct {
+	// MaxBandwidth caps the sum of the principal's active and
+	// pending network reservations. Zero means no network quota.
+	MaxBandwidth units.BitRate
+	// MaxDuration caps a single reservation's length; zero allows
+	// indefinite reservations.
+	MaxDuration time.Duration
+	// MaxAdvance caps how far ahead an advance reservation may
+	// start; zero allows any horizon.
+	MaxAdvance time.Duration
+	// MaxCPUFraction caps the sum of the principal's CPU
+	// reservations across hosts. Zero means no CPU quota.
+	MaxCPUFraction float64
+}
+
+// Decision is one audit-log entry.
+type Decision struct {
+	T       time.Duration
+	Who     Principal
+	Spec    gara.Spec
+	Granted bool
+	Reason  string
+}
+
+// Broker is a policy-enforcing front end to a Gara instance.
+type Broker struct {
+	g        *gara.Gara
+	policies map[Principal]Policy
+	fallback Policy
+	active   map[Principal][]*gara.Reservation
+	log      []Decision
+}
+
+// New returns a broker over g. The fallback policy applies to
+// principals without an explicit one.
+func New(g *gara.Gara, fallback Policy) *Broker {
+	return &Broker{
+		g:        g,
+		policies: make(map[Principal]Policy),
+		fallback: fallback,
+		active:   make(map[Principal][]*gara.Reservation),
+	}
+}
+
+// SetPolicy installs or replaces a principal's policy.
+func (b *Broker) SetPolicy(p Principal, pol Policy) { b.policies[p] = pol }
+
+// PolicyFor returns the effective policy for a principal.
+func (b *Broker) PolicyFor(p Principal) Policy {
+	if pol, ok := b.policies[p]; ok {
+		return pol
+	}
+	return b.fallback
+}
+
+// Usage returns the principal's currently committed network bandwidth
+// and CPU fraction (pending advance reservations count: they hold
+// slot-table capacity).
+func (b *Broker) Usage(p Principal) (units.BitRate, float64) {
+	var bw units.BitRate
+	var cpu float64
+	for _, r := range b.live(p) {
+		switch r.Spec().Type {
+		case gara.ResourceNetwork:
+			bw += r.Spec().Bandwidth
+		case gara.ResourceCPU:
+			cpu += r.Spec().Fraction
+		}
+	}
+	return bw, cpu
+}
+
+// live prunes finished reservations and returns the remainder.
+func (b *Broker) live(p Principal) []*gara.Reservation {
+	kept := b.active[p][:0]
+	for _, r := range b.active[p] {
+		if s := r.State(); s == gara.StateActive || s == gara.StatePending {
+			kept = append(kept, r)
+		}
+	}
+	b.active[p] = kept
+	return kept
+}
+
+// Request submits a reservation on behalf of a principal. Policy
+// violations are rejected before GARA sees the request; admission
+// failures from GARA are logged the same way.
+func (b *Broker) Request(who Principal, spec gara.Spec) (*gara.Reservation, error) {
+	pol := b.PolicyFor(who)
+	now := b.g.Kernel().Now()
+	deny := func(reason string) (*gara.Reservation, error) {
+		b.log = append(b.log, Decision{T: now, Who: who, Spec: spec, Reason: reason})
+		return nil, fmt.Errorf("broker: %s", reason)
+	}
+	if pol.MaxDuration > 0 && (spec.Duration <= 0 || spec.Duration > pol.MaxDuration) {
+		return deny(fmt.Sprintf("duration %v exceeds policy limit %v", spec.Duration, pol.MaxDuration))
+	}
+	if pol.MaxAdvance > 0 && spec.Start > now+pol.MaxAdvance {
+		return deny(fmt.Sprintf("start %v beyond advance horizon %v", spec.Start, pol.MaxAdvance))
+	}
+	bw, cpu := b.Usage(who)
+	switch spec.Type {
+	case gara.ResourceNetwork:
+		if pol.MaxBandwidth > 0 && bw+spec.Bandwidth > pol.MaxBandwidth {
+			return deny(fmt.Sprintf("bandwidth quota: %v in use + %v requested > %v",
+				bw, spec.Bandwidth, pol.MaxBandwidth))
+		}
+	case gara.ResourceCPU:
+		if pol.MaxCPUFraction > 0 && cpu+spec.Fraction > pol.MaxCPUFraction {
+			return deny(fmt.Sprintf("CPU quota: %.2f in use + %.2f requested > %.2f",
+				cpu, spec.Fraction, pol.MaxCPUFraction))
+		}
+	}
+	r, err := b.g.Reserve(spec)
+	if err != nil {
+		b.log = append(b.log, Decision{T: now, Who: who, Spec: spec, Reason: err.Error()})
+		return nil, err
+	}
+	b.active[who] = append(b.active[who], r)
+	b.log = append(b.log, Decision{T: now, Who: who, Spec: spec, Granted: true, Reason: "admitted"})
+	return r, nil
+}
+
+// Decisions returns the audit log.
+func (b *Broker) Decisions() []Decision {
+	out := make([]Decision, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// Cancel cancels a reservation previously granted to the principal
+// and frees its quota immediately.
+func (b *Broker) Cancel(who Principal, r *gara.Reservation) {
+	r.Cancel()
+	b.live(who)
+}

@@ -1,0 +1,149 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/units"
+)
+
+func netSpec(tb *garnet.Testbed, bw units.BitRate) gara.Spec {
+	return gara.Spec{
+		Type:      gara.ResourceNetwork,
+		Flow:      diffserv.MatchHostPair(tb.PremSrc.Addr(), tb.PremDst.Addr(), netsim.ProtoTCP),
+		Bandwidth: bw,
+		Duration:  time.Minute,
+	}
+}
+
+func TestBandwidthQuota(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxBandwidth: 10 * units.Mbps, MaxDuration: time.Hour})
+	if _, err := b.Request("alice", netSpec(tb, 6*units.Mbps)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request("alice", netSpec(tb, 6*units.Mbps)); err == nil {
+		t.Fatal("6+6 over a 10 Mb/s quota should be denied")
+	}
+	if _, err := b.Request("alice", netSpec(tb, 4*units.Mbps)); err != nil {
+		t.Fatalf("6+4 should fit the quota: %v", err)
+	}
+	// Quotas are per principal.
+	if _, err := b.Request("bob", netSpec(tb, 10*units.Mbps)); err != nil {
+		t.Fatalf("bob has his own quota: %v", err)
+	}
+	bw, _ := b.Usage("alice")
+	if bw != 10*units.Mbps {
+		t.Fatalf("alice usage = %v, want 10 Mb/s", bw)
+	}
+}
+
+func TestDurationAndAdvanceLimits(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{
+		MaxBandwidth: 100 * units.Mbps,
+		MaxDuration:  10 * time.Minute,
+		MaxAdvance:   time.Hour,
+	})
+	spec := netSpec(tb, units.Mbps)
+	spec.Duration = time.Hour
+	if _, err := b.Request("alice", spec); err == nil {
+		t.Fatal("over-long reservation should be denied")
+	}
+	spec.Duration = 0 // indefinite
+	if _, err := b.Request("alice", spec); err == nil {
+		t.Fatal("indefinite reservation should be denied under a duration cap")
+	}
+	spec.Duration = 5 * time.Minute
+	spec.Start = 2 * time.Hour
+	if _, err := b.Request("alice", spec); err == nil {
+		t.Fatal("too-far-advance reservation should be denied")
+	}
+	spec.Start = 30 * time.Minute
+	if _, err := b.Request("alice", spec); err != nil {
+		t.Fatalf("in-horizon advance reservation should pass: %v", err)
+	}
+}
+
+func TestCancelFreesQuota(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxBandwidth: 10 * units.Mbps, MaxDuration: time.Hour})
+	r, err := b.Request("alice", netSpec(tb, 10*units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request("alice", netSpec(tb, units.Mbps)); err == nil {
+		t.Fatal("quota full")
+	}
+	b.Cancel("alice", r)
+	if _, err := b.Request("alice", netSpec(tb, 10*units.Mbps)); err != nil {
+		t.Fatalf("quota not freed by cancel: %v", err)
+	}
+}
+
+func TestExpiryFreesQuota(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxBandwidth: 10 * units.Mbps, MaxDuration: time.Hour})
+	spec := netSpec(tb, 10*units.Mbps)
+	spec.Duration = 10 * time.Second
+	if _, err := b.Request("alice", spec); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunUntil(11 * time.Second)
+	if _, err := b.Request("alice", netSpec(tb, 10*units.Mbps)); err != nil {
+		t.Fatalf("quota not freed by expiry: %v", err)
+	}
+}
+
+func TestCPUQuota(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxCPUFraction: 0.8, MaxDuration: time.Hour})
+	host := garnetCPUTask(tb)
+	spec := gara.Spec{Type: gara.ResourceCPU, Task: host, Fraction: 0.5, Duration: time.Minute}
+	if _, err := b.Request("alice", spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Fraction = 0.4
+	if _, err := b.Request("alice", spec); err == nil {
+		t.Fatal("0.5+0.4 over a 0.8 CPU quota should be denied")
+	}
+}
+
+func TestPerPrincipalPolicyOverride(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxBandwidth: units.Mbps, MaxDuration: time.Hour})
+	b.SetPolicy("vip", Policy{MaxBandwidth: 100 * units.Mbps, MaxDuration: time.Hour})
+	if _, err := b.Request("pleb", netSpec(tb, 2*units.Mbps)); err == nil {
+		t.Fatal("default quota should deny 2 Mb/s")
+	}
+	if _, err := b.Request("vip", netSpec(tb, 50*units.Mbps)); err != nil {
+		t.Fatalf("vip policy should admit: %v", err)
+	}
+}
+
+func TestDecisionLog(t *testing.T) {
+	tb := garnet.New(1)
+	b := New(tb.Gara, Policy{MaxBandwidth: 10 * units.Mbps, MaxDuration: time.Hour})
+	b.Request("alice", netSpec(tb, 6*units.Mbps))
+	b.Request("alice", netSpec(tb, 6*units.Mbps)) // denied
+	log := b.Decisions()
+	if len(log) != 2 {
+		t.Fatalf("log entries = %d, want 2", len(log))
+	}
+	if !log[0].Granted || log[1].Granted {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[1].Reason == "" {
+		t.Fatal("denial should carry a reason")
+	}
+}
+
+// garnetCPUTask gives the broker tests a DSRT task bound to a CPU.
+func garnetCPUTask(tb *garnet.Testbed) *dsrt.Task {
+	return dsrt.NewCPU(tb.K, "host").NewTask("app")
+}

@@ -1,0 +1,159 @@
+package gq
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+// adaptiveRun streams target Mb/s under contention starting from a
+// deliberately undersized reservation, with or without the adapter,
+// and returns (received bytes in the second half, final reservation).
+func adaptiveRun(t *testing.T, adapt bool) (units.ByteSize, units.BitRate) {
+	t.Helper()
+	const target = 10 * units.Mbps
+	const msg = 25 * units.KB // 50 messages/s at 10 Mb/s
+	const dur = 20 * time.Second
+	tb := garnet.New(1)
+	bl := &trafficgen.UDPBlaster{Rate: 160 * units.Mbps, Jitter: 0.1}
+	if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+		t.Fatal(err)
+	}
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
+	agent := NewAgent(tb.Gara, job)
+	var lateBytes units.ByteSize
+	var finalRes units.BitRate
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		pc, err := r.PairComm(ctx, 1-r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Undersized: 40% of the target.
+		attr := &QosAttribute{Class: Premium, Bandwidth: 4 * units.Mbps}
+		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+			t.Error(err)
+			return
+		}
+		peer := 1 - r.RankIn(pc)
+		if r.ID() == 0 {
+			if adapt {
+				ad, err := agent.NewAdapter(r, pc, target)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ctx.SpawnChild("adapter", func(actx *sim.Ctx) {
+					ad.Run(actx, 500*time.Millisecond, dur-2*time.Second)
+					if cur, ok := ad.Current(); ok {
+						finalRes = cur
+					}
+				})
+			}
+			gap := target.TimeToSend(msg)
+			for ctx.Now() < dur {
+				if err := r.Send(ctx, pc, peer, 0, msg, nil); err != nil {
+					return
+				}
+				ctx.Sleep(gap)
+			}
+			return
+		}
+		for {
+			m, err := r.Recv(ctx, pc, peer, 0)
+			if err != nil {
+				return
+			}
+			if ctx.Now() >= dur/2 {
+				lateBytes += m.Len
+			}
+		}
+	})
+	if err := tb.K.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	return lateBytes, finalRes
+}
+
+func TestAdapterGrowsStarvedReservation(t *testing.T) {
+	static, _ := adaptiveRun(t, false)
+	adapted, finalRes := adaptiveRun(t, true)
+	staticRate := units.RateOf(static, 10*time.Second)
+	adaptedRate := units.RateOf(adapted, 10*time.Second)
+	// The static undersized reservation caps the stream well below
+	// target; the adapter must lift it close to the 10 Mb/s target.
+	if adaptedRate < 8*units.Mbps {
+		t.Fatalf("adapted rate = %v, want near the 10 Mb/s target", adaptedRate)
+	}
+	if float64(adaptedRate) < 1.5*float64(staticRate) {
+		t.Fatalf("adaptation ineffective: static %v vs adapted %v", staticRate, adaptedRate)
+	}
+	if finalRes <= 4*units.Mbps {
+		t.Fatalf("final reservation = %v, want grown above the initial 4 Mb/s", finalRes)
+	}
+}
+
+func TestAdapterDecaysOverProvisioned(t *testing.T) {
+	const target = 2 * units.Mbps
+	const dur = 20 * time.Second
+	tb := garnet.New(1)
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
+	agent := NewAgent(tb.Gara, job)
+	var finalRes units.BitRate
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		pc, err := r.PairComm(ctx, 1-r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Grossly over-provisioned: 20 Mb/s for a 2 Mb/s stream.
+		attr := &QosAttribute{Class: Premium, Bandwidth: 20 * units.Mbps}
+		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+			t.Error(err)
+			return
+		}
+		peer := 1 - r.RankIn(pc)
+		if r.ID() == 0 {
+			ad, err := agent.NewAdapter(r, pc, target)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx.SpawnChild("adapter", func(actx *sim.Ctx) {
+				ad.Run(actx, 500*time.Millisecond, dur-2*time.Second)
+				if cur, ok := ad.Current(); ok {
+					finalRes = cur
+				}
+			})
+			gap := target.TimeToSend(10 * units.KB)
+			for ctx.Now() < dur {
+				if err := r.Send(ctx, pc, peer, 0, 10*units.KB, nil); err != nil {
+					return
+				}
+				ctx.Sleep(gap)
+			}
+			return
+		}
+		for {
+			if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+				return
+			}
+		}
+	})
+	if err := tb.K.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	// Decay should approach target*1.06 without dropping below it.
+	if finalRes >= 10*units.Mbps {
+		t.Fatalf("final reservation = %v, want decayed well below 20 Mb/s", finalRes)
+	}
+	if float64(finalRes) < 1.05*float64(target) {
+		t.Fatalf("final reservation = %v undercuts the target floor", finalRes)
+	}
+}

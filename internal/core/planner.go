@@ -1,0 +1,119 @@
+package gq
+
+import (
+	"fmt"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/units"
+)
+
+// Planner implements the paper's startup-integration plan: "we will
+// integrate the reservation process with MPI startup and execution,
+// so that, for example, an MPI program can select from among
+// alternative resources, according to their availability, and adapt
+// execution strategies or change reservations if reservations cannot
+// be satisfied" (§4.2).
+//
+// A Placement is one candidate assignment of the job's ranks to
+// nodes; the planner probes GARA for the bandwidth each placement's
+// rank pairs would need and picks the first (or best) candidate whose
+// reservations are all admissible.
+
+// Placement is a candidate node assignment, one node per rank.
+type Placement struct {
+	Name  string
+	Nodes []*netsim.Node
+}
+
+// PlanRequirement describes the bandwidth a pair of ranks needs.
+type PlanRequirement struct {
+	RankA, RankB int
+	Bandwidth    units.BitRate
+}
+
+// Planner selects among placements by probing network availability.
+type Planner struct {
+	g *gara.Gara
+	// Requirements between rank pairs; both directions are probed.
+	Requirements []PlanRequirement
+}
+
+// NewPlanner returns a planner over g.
+func NewPlanner(g *gara.Gara) *Planner { return &Planner{g: g} }
+
+// Require adds a bidirectional bandwidth requirement between two
+// ranks.
+func (p *Planner) Require(rankA, rankB int, bw units.BitRate) {
+	p.Requirements = append(p.Requirements, PlanRequirement{RankA: rankA, RankB: rankB, Bandwidth: bw})
+}
+
+// specsFor expands the requirements into network specs for one
+// placement.
+func (p *Planner) specsFor(pl Placement) ([]gara.Spec, error) {
+	var specs []gara.Spec
+	for _, req := range p.Requirements {
+		if req.RankA < 0 || req.RankA >= len(pl.Nodes) || req.RankB < 0 || req.RankB >= len(pl.Nodes) {
+			return nil, fmt.Errorf("gq: requirement ranks (%d,%d) out of range for placement %q",
+				req.RankA, req.RankB, pl.Name)
+		}
+		a, b := pl.Nodes[req.RankA], pl.Nodes[req.RankB]
+		if a == b {
+			continue // co-located ranks use loopback
+		}
+		for _, pair := range [][2]*netsim.Node{{a, b}, {b, a}} {
+			specs = append(specs, gara.Spec{
+				Type:      gara.ResourceNetwork,
+				Flow:      diffserv.MatchHostPair(pair[0].Addr(), pair[1].Addr(), netsim.ProtoTCP),
+				Bandwidth: req.Bandwidth,
+			})
+		}
+	}
+	return specs, nil
+}
+
+// Feasible reports whether every requirement of a placement could be
+// admitted right now.
+func (p *Planner) Feasible(pl Placement) error {
+	specs, err := p.specsFor(pl)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		if err := p.g.Probe(spec); err != nil {
+			return fmt.Errorf("gq: placement %q infeasible: %w", pl.Name, err)
+		}
+	}
+	return nil
+}
+
+// Select returns the first feasible placement, or an error describing
+// why each candidate failed — the caller can then "adapt execution
+// strategies" (e.g. lower the requirement and retry).
+func (p *Planner) Select(candidates []Placement) (Placement, error) {
+	var firstErr error
+	for _, pl := range candidates {
+		if err := p.Feasible(pl); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return pl, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("gq: no candidate placements")
+	}
+	return Placement{}, firstErr
+}
+
+// ReserveFor books the placement's requirements as a co-reservation
+// (all or nothing), returning the handles.
+func (p *Planner) ReserveFor(pl Placement) ([]*gara.Reservation, error) {
+	specs, err := p.specsFor(pl)
+	if err != nil {
+		return nil, err
+	}
+	return p.g.CoReserve(specs...)
+}

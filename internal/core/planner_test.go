@@ -1,0 +1,97 @@
+package gq
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/units"
+)
+
+func TestPlannerPrefersFeasiblePlacement(t *testing.T) {
+	tb := garnet.New(1)
+	// Attach a remote site behind a thin 10 Mb/s WAN link.
+	remote := tb.AddSite("thin", 10*units.Mbps, 5*time.Millisecond)
+
+	p := NewPlanner(tb.Gara)
+	p.Require(0, 1, 40*units.Mbps) // needs 40 Mb/s between the two ranks
+
+	thin := Placement{Name: "via-thin-site", Nodes: []*netsim.Node{tb.PremSrc, remote}}
+	fat := Placement{Name: "local-pair", Nodes: []*netsim.Node{tb.PremSrc, tb.PremDst}}
+
+	// The thin site cannot carry 40 Mb/s (EF share 7 Mb/s); the local
+	// pair can.
+	if err := p.Feasible(thin); err == nil {
+		t.Fatal("thin placement should be infeasible at 40 Mb/s")
+	}
+	if err := p.Feasible(fat); err != nil {
+		t.Fatalf("local placement should be feasible: %v", err)
+	}
+	got, err := p.Select([]Placement{thin, fat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "local-pair" {
+		t.Fatalf("selected %q, want local-pair", got.Name)
+	}
+}
+
+func TestPlannerProbeHoldsNothing(t *testing.T) {
+	tb := garnet.New(1)
+	p := NewPlanner(tb.Gara)
+	p.Require(0, 1, 50*units.Mbps)
+	pl := Placement{Name: "pair", Nodes: []*netsim.Node{tb.PremSrc, tb.PremDst}}
+	// Probing repeatedly must not consume capacity.
+	for i := 0; i < 5; i++ {
+		if err := p.Feasible(pl); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if u := tb.NetRM.Utilization(tb.Bottleneck, tb.K.Now()); u != 0 {
+		t.Fatalf("probing held capacity: utilization %v", u)
+	}
+}
+
+func TestPlannerReserveFor(t *testing.T) {
+	tb := garnet.New(1)
+	p := NewPlanner(tb.Gara)
+	p.Require(0, 1, 60*units.Mbps)
+	pl := Placement{Name: "pair", Nodes: []*netsim.Node{tb.PremSrc, tb.PremDst}}
+	rs, err := p.ReserveFor(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 { // both directions
+		t.Fatalf("reservations = %d, want 2", len(rs))
+	}
+	// A second identical booking would need 120 Mb/s per direction on
+	// the bottleneck, above the 108.5 Mb/s EF share.
+	if err := p.Feasible(pl); err == nil {
+		t.Fatal("second identical booking should be infeasible")
+	}
+	for _, r := range rs {
+		r.Cancel()
+	}
+	if err := p.Feasible(pl); err != nil {
+		t.Fatalf("after cancel the placement should be feasible again: %v", err)
+	}
+}
+
+func TestPlannerColocatedRanksNeedNoNetwork(t *testing.T) {
+	tb := garnet.New(1)
+	p := NewPlanner(tb.Gara)
+	p.Require(0, 1, 500*units.Mbps) // absurd bandwidth, but co-located
+	pl := Placement{Name: "colocated", Nodes: []*netsim.Node{tb.PremSrc, tb.PremSrc}}
+	if err := p.Feasible(pl); err != nil {
+		t.Fatalf("co-located ranks should always be feasible: %v", err)
+	}
+}
+
+func TestPlannerNoCandidates(t *testing.T) {
+	tb := garnet.New(1)
+	p := NewPlanner(tb.Gara)
+	if _, err := p.Select(nil); err == nil {
+		t.Fatal("empty candidate list should error")
+	}
+}

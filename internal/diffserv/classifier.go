@@ -1,0 +1,187 @@
+package diffserv
+
+import (
+	"fmt"
+
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+)
+
+// Match describes which packets a rule applies to. Nil fields are
+// wildcards, so the zero Match matches everything. Edge routers
+// classify "based on information in the header, such as source and
+// destination addresses and ports".
+type Match struct {
+	Src     *netsim.Addr
+	Dst     *netsim.Addr
+	SrcPort *netsim.Port
+	DstPort *netsim.Port
+	Proto   *netsim.Proto
+	DSCP    *netsim.DSCP
+}
+
+// MatchFlow returns a Match for an exact flow 5-tuple.
+func MatchFlow(k netsim.FlowKey) Match {
+	return Match{Src: &k.Src, Dst: &k.Dst, SrcPort: &k.SrcPort, DstPort: &k.DstPort, Proto: &k.Proto}
+}
+
+// MatchHostPair returns a Match covering all traffic of one protocol
+// between two hosts regardless of ports.
+func MatchHostPair(src, dst netsim.Addr, proto netsim.Proto) Match {
+	return Match{Src: &src, Dst: &dst, Proto: &proto}
+}
+
+// MatchDSCP returns a Match selecting packets already carrying code
+// point d (used on domain-ingress routers to police the premium
+// aggregate).
+func MatchDSCP(d netsim.DSCP) Match {
+	return Match{DSCP: &d}
+}
+
+// Matches reports whether packet p satisfies every non-nil field.
+func (m Match) Matches(p *netsim.Packet) bool {
+	if m.Src != nil && *m.Src != p.Src {
+		return false
+	}
+	if m.Dst != nil && *m.Dst != p.Dst {
+		return false
+	}
+	if m.SrcPort != nil && *m.SrcPort != p.SrcPort {
+		return false
+	}
+	if m.DstPort != nil && *m.DstPort != p.DstPort {
+		return false
+	}
+	if m.Proto != nil && *m.Proto != p.Proto {
+		return false
+	}
+	if m.DSCP != nil && *m.DSCP != p.DSCP {
+		return false
+	}
+	return true
+}
+
+func (m Match) String() string {
+	s := "match{"
+	if m.Src != nil {
+		s += fmt.Sprintf("src=%d ", *m.Src)
+	}
+	if m.Dst != nil {
+		s += fmt.Sprintf("dst=%d ", *m.Dst)
+	}
+	if m.SrcPort != nil {
+		s += fmt.Sprintf("sport=%d ", *m.SrcPort)
+	}
+	if m.DstPort != nil {
+		s += fmt.Sprintf("dport=%d ", *m.DstPort)
+	}
+	if m.Proto != nil {
+		s += fmt.Sprintf("proto=%v ", *m.Proto)
+	}
+	if m.DSCP != nil {
+		s += fmt.Sprintf("dscp=%v ", *m.DSCP)
+	}
+	return s + "}"
+}
+
+// ExceedAction says what a policer does with out-of-profile packets.
+type ExceedAction uint8
+
+const (
+	// ExceedDrop discards out-of-profile packets (policing).
+	ExceedDrop ExceedAction = iota
+	// ExceedRemark demotes out-of-profile packets to best effort
+	// instead of dropping them.
+	ExceedRemark
+)
+
+// Rule classifies matching packets, marks them with a code point, and
+// optionally polices them against a token bucket.
+type Rule struct {
+	Match Match
+	// Mark is stamped on conforming packets.
+	Mark netsim.DSCP
+	// Police, if non-nil, is consulted per packet; out-of-profile
+	// packets get the Exceed action.
+	Police *TokenBucket
+	Exceed ExceedAction
+
+	matchedPkts uint64
+	droppedPkts uint64
+	remarked    uint64
+}
+
+// RuleStats holds cumulative per-rule counters.
+type RuleStats struct {
+	MatchedPkts  uint64
+	DroppedPkts  uint64
+	RemarkedPkts uint64
+}
+
+// Stats returns the rule's cumulative counters.
+func (r *Rule) Stats() RuleStats {
+	return RuleStats{MatchedPkts: r.matchedPkts, DroppedPkts: r.droppedPkts, RemarkedPkts: r.remarked}
+}
+
+// Classifier is an ordered rule list applied at an interface ingress
+// (a netsim.IngressFilter). The first matching rule wins; packets
+// matching no rule pass through unchanged.
+type Classifier struct {
+	k     *sim.Kernel
+	rules []*Rule
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier(k *sim.Kernel) *Classifier { return &Classifier{k: k} }
+
+// AddRule appends a rule (lowest precedence so far) and returns it so
+// the caller can inspect stats or remove it later.
+func (c *Classifier) AddRule(r *Rule) *Rule {
+	c.rules = append(c.rules, r)
+	return r
+}
+
+// InsertRule places a rule at the front (highest precedence).
+func (c *Classifier) InsertRule(r *Rule) *Rule {
+	c.rules = append([]*Rule{r}, c.rules...)
+	return r
+}
+
+// RemoveRule deletes r from the rule list; it reports whether r was
+// present.
+func (c *Classifier) RemoveRule(r *Rule) bool {
+	for i, x := range c.rules {
+		if x == r {
+			c.rules = append(c.rules[:i], c.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns the current rule list in precedence order.
+func (c *Classifier) Rules() []*Rule { return c.rules }
+
+// Filter implements netsim.IngressFilter: classify, mark, police.
+func (c *Classifier) Filter(p *netsim.Packet) *netsim.Packet {
+	for _, r := range c.rules {
+		if !r.Match.Matches(p) {
+			continue
+		}
+		r.matchedPkts++
+		if r.Police != nil && !r.Police.Conform(p.Size) {
+			switch r.Exceed {
+			case ExceedDrop:
+				r.droppedPkts++
+				return nil
+			case ExceedRemark:
+				r.remarked++
+				p.DSCP = netsim.DSCPBestEffort
+				return p
+			}
+		}
+		p.DSCP = r.Mark
+		return p
+	}
+	return p
+}

@@ -1,0 +1,32 @@
+package diffserv_test
+
+import (
+	"fmt"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// A token bucket polices a flow: the initial burst passes up to the
+// bucket depth, then packets conform only at the fill rate.
+func ExampleTokenBucket() {
+	k := sim.New(1)
+	// 400 Kb/s with the paper's normal (bandwidth/40) depth.
+	depth := diffserv.DepthForRate(400*units.Kbps, diffserv.NormalBucketDivisor)
+	tb := diffserv.NewTokenBucket(k, 400*units.Kbps, depth)
+	fmt.Printf("depth: %v\n", depth)
+
+	// A 50 KB frame arriving as 1 KB packets at line rate: the first
+	// 10 KB (the bucket) conform, the rest are out of profile.
+	conform := 0
+	for i := 0; i < 50; i++ {
+		if tb.Conform(1000) {
+			conform++
+		}
+	}
+	fmt.Printf("conforming packets: %d of 50\n", conform)
+	// Output:
+	// depth: 10.00KB
+	// conforming packets: 10 of 50
+}

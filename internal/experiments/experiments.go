@@ -1,0 +1,67 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§5). Each RunFigureN/RunTableN function builds a
+// fresh GARNET testbed, runs the workload, and returns the series or
+// rows the paper plots. cmd/garnet prints them; bench_test.go wraps
+// them as benchmarks; the package tests assert the qualitative shape
+// the paper reports.
+package experiments
+
+import (
+	"time"
+
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+// Config scales experiment durations so tests can run abbreviated
+// versions while cmd/garnet runs the paper-length ones.
+type Config struct {
+	// Seed for the deterministic kernel.
+	Seed int64
+	// TimeScale multiplies every experiment duration (1.0 = the
+	// paper's timelines; tests use less).
+	TimeScale float64
+}
+
+// DefaultConfig runs experiments at paper length.
+func DefaultConfig() Config { return Config{Seed: 1, TimeScale: 1.0} }
+
+// QuickConfig runs abbreviated experiments for tests.
+func QuickConfig() Config { return Config{Seed: 1, TimeScale: 0.2} }
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// scale applies the config's time scale to a paper duration.
+func (c Config) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * c.TimeScale)
+}
+
+// ContentionRate is the UDP generator's offered load: enough to
+// saturate the 155 Mb/s bottleneck, "quite capable of overwhelming any
+// TCP application that does not have a reservation".
+const ContentionRate = 160 * units.Mbps
+
+// blast starts the standard contention generator on the competitive
+// host pair.
+func blast(tb *garnet.Testbed, from, to time.Duration) *trafficgen.UDPBlaster {
+	b := &trafficgen.UDPBlaster{
+		Rate:       ContentionRate,
+		PacketSize: 1000,
+		Jitter:     0.1,
+		Start:      from,
+		Stop:       to,
+	}
+	if err := b.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+		panic(err)
+	}
+	return b
+}

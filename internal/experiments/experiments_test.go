@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/units"
+)
+
+// These tests assert the qualitative shapes the paper reports, on
+// abbreviated runs. cmd/garnet regenerates the full-length numbers.
+
+func TestFigure1Oscillation(t *testing.T) {
+	r := RunFigure1(Config{Seed: 1, TimeScale: 0.3})
+	// "The bandwidth obtained by this program varies wildly": the
+	// flow must get substantial throughput but far less than offered,
+	// with a large swing.
+	if r.Mean < 15*units.Mbps || r.Mean > 45*units.Mbps {
+		t.Fatalf("mean = %v, want well below the 50 Mb/s offered but substantial", r.Mean)
+	}
+	if r.Max-r.Min < 10*units.Mbps {
+		t.Fatalf("swing = %v..%v, want wild oscillation", r.Min, r.Max)
+	}
+	if r.Max > 60*units.Mbps {
+		t.Fatalf("max %v exceeds plausibility", r.Max)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := RunFigure5(Config{Seed: 1, TimeScale: 0.15})
+	for _, size := range r.MessageSizes {
+		curve := r.Curves[size]
+		first, last := curve[0], curve[len(curve)-1]
+		// Throughput rises with reservation...
+		if last.Throughput < 4*first.Throughput {
+			t.Errorf("size %v: %v -> %v, want strong growth with reservation",
+				size, first.Throughput, last.Throughput)
+		}
+		// ...and plateaus near the uncontended peak.
+		peak := r.NoContention[size]
+		if float64(last.Throughput) < 0.8*float64(peak) {
+			t.Errorf("size %v: plateau %v vs uncontended %v", size, last.Throughput, peak)
+		}
+	}
+	// Larger messages plateau higher.
+	for i := 1; i < len(r.MessageSizes); i++ {
+		a, b := r.MessageSizes[i-1], r.MessageSizes[i]
+		ca, cb := r.Curves[a], r.Curves[b]
+		if cb[len(cb)-1].Throughput <= ca[len(ca)-1].Throughput {
+			t.Errorf("plateau ordering violated: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFigure6Knee(t *testing.T) {
+	r := RunFigure6(Config{Seed: 1, TimeScale: 0.2})
+	for _, offered := range r.Offered {
+		curve := r.Curves[offered]
+		var at25, at106 units.BitRate
+		for _, p := range curve {
+			frac := float64(p.Reservation) / float64(offered)
+			switch {
+			case frac < 0.3:
+				at25 = p.Achieved
+			case frac > 1.05 && frac < 1.07:
+				at106 = p.Achieved
+			}
+		}
+		// At 1.06x the stream reaches (nearly) full rate...
+		if float64(at106) < 0.9*float64(offered) {
+			t.Errorf("offered %v: achieved %v at 1.06x, want ~full", offered, at106)
+		}
+		// ...while far below it performance is dramatically worse
+		// than proportional ("making a reservation that is even a
+		// little bit too small dramatically decreases throughput").
+		if float64(at25) > 0.5*float64(offered) {
+			t.Errorf("offered %v: achieved %v at 0.25x, want collapse", offered, at25)
+		}
+	}
+}
+
+func TestTable1BurstinessPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary-search sweep; skipped in -short")
+	}
+	r := RunTable1(Config{Seed: 1, TimeScale: 0.15})
+	for _, row := range r.Rows {
+		// The bursty (1 fps) stream with the normal bucket needs a
+		// larger reservation than the smooth (10 fps) one...
+		if row.Normal1fps <= row.Normal10fps {
+			t.Errorf("desired %v: 1fps %v <= 10fps %v, want burstiness penalty",
+				row.Desired, row.Normal1fps, row.Normal10fps)
+		}
+		// ...and the large bucket substantially reduces that penalty.
+		if row.Large1fps >= row.Normal1fps {
+			t.Errorf("desired %v: large bucket %v >= normal %v, want improvement",
+				row.Desired, row.Large1fps, row.Normal1fps)
+		}
+		// Sanity: requirements are near the desired rate (the 95 %
+		// criterion can land slightly below it) and not absurd.
+		if float64(row.Normal10fps) < 0.8*float64(row.Desired) || row.Normal10fps > 2*row.Desired {
+			t.Errorf("desired %v: 10fps requirement %v out of range", row.Desired, row.Normal10fps)
+		}
+	}
+}
+
+func TestFigure7Burstiness(t *testing.T) {
+	r := RunFigure7(Config{Seed: 1, TimeScale: 1})
+	if len(r.Smooth) == 0 || len(r.Bursty) == 0 {
+		t.Fatal("empty traces")
+	}
+	// The 1 fps program concentrates its data: its max 100 ms burst
+	// must be several times the 10 fps program's.
+	if float64(r.BurstyBurst) < 3*float64(r.SmoothBurst) {
+		t.Fatalf("bursts: smooth %v, bursty %v — want bursty >> smooth",
+			r.SmoothBurst, r.BurstyBurst)
+	}
+	// The smooth trace spreads transmissions across the window; the
+	// bursty one concentrates them in a short span.
+	smoothSpan := r.Smooth[len(r.Smooth)-1].T - r.Smooth[0].T
+	burstySpan := r.Bursty[len(r.Bursty)-1].T - r.Bursty[0].T
+	if smoothSpan < 700*time.Millisecond {
+		t.Fatalf("smooth trace spans %v of the 1 s window, want spread out", smoothSpan)
+	}
+	if burstySpan > smoothSpan {
+		t.Fatalf("bursty span %v > smooth span %v", burstySpan, smoothSpan)
+	}
+}
+
+func TestFigure8Recovery(t *testing.T) {
+	r := RunFigure8(Config{Seed: 1, TimeScale: 0.5})
+	if r.QuietMean < 14*units.Mbps {
+		t.Fatalf("quiet = %v, want ~15 Mb/s", r.QuietMean)
+	}
+	if float64(r.ContendedMean) > 0.75*float64(r.QuietMean) {
+		t.Fatalf("contended = %v vs quiet %v, want a significant dip", r.ContendedMean, r.QuietMean)
+	}
+	if float64(r.ReservedMean) < 0.9*float64(r.QuietMean) {
+		t.Fatalf("reserved = %v vs quiet %v, want full recovery", r.ReservedMean, r.QuietMean)
+	}
+}
+
+func TestFigure9FivePhases(t *testing.T) {
+	r := RunFigure9(Config{Seed: 1, TimeScale: 0.5})
+	clean := float64(r.Clean)
+	if r.Clean < 30*units.Mbps {
+		t.Fatalf("clean = %v, want ~35 Mb/s", r.Clean)
+	}
+	if float64(r.NetCongested) > 0.4*clean {
+		t.Fatalf("congested = %v, want collapse", r.NetCongested)
+	}
+	if float64(r.NetReserved) < 0.85*clean {
+		t.Fatalf("net-reserved = %v, want recovery to ~clean", r.NetReserved)
+	}
+	if float64(r.CPUContended) > 0.8*clean {
+		t.Fatalf("cpu-contended = %v, want a dip (network reservation alone is insufficient)", r.CPUContended)
+	}
+	if float64(r.CPUReserved) < 0.85*clean {
+		t.Fatalf("cpu-reserved = %v, want full recovery with both reservations", r.CPUReserved)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps; skipped in -short")
+	}
+	cfg := Config{Seed: 1, TimeScale: 0.1}
+	for name, tbl := range map[string]interface{ String() string }{
+		"bucket":  ptr(AblationBucketDepth(cfg)),
+		"shaping": ptr(AblationShaping(cfg)),
+		"eager":   ptr(AblationEagerThreshold(cfg)),
+		"sockbuf": ptr(AblationSocketBuffers(cfg)),
+	} {
+		if len(tbl.String()) == 0 {
+			t.Errorf("ablation %s produced no output", name)
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestDVisOfferedRate(t *testing.T) {
+	d := &DVis{FrameSize: 30 * units.KB, FPS: 10}
+	if got := d.OfferedRate(); got != 2400*units.Kbps {
+		t.Fatalf("offered = %v, want 2400 Kb/s", got)
+	}
+}
+
+func TestISvsDSStateAndProtection(t *testing.T) {
+	r := RunISvsDS(Config{Seed: 1, TimeScale: 0.3}, 6)
+	// §2's architectural claim: IS burdens the core with per-flow
+	// state; DS keeps the core stateless (aggregate EF only).
+	if r.ISCoreState != 6 {
+		t.Fatalf("IS core state = %d, want one entry per flow", r.ISCoreState)
+	}
+	if r.DSCoreRules != 0 {
+		t.Fatalf("DS core rules = %d, want 0 (edge-only classification)", r.DSCoreRules)
+	}
+	if r.DSEdgeRules != 6 {
+		t.Fatalf("DS edge rules = %d, want 6", r.DSEdgeRules)
+	}
+	// Both architectures must actually protect the flows.
+	floor := units.BitRate(0.8 * 0.9 * float64(r.PerFlowRate))
+	if r.ISAchieved < floor || r.DSAchieved < floor {
+		t.Fatalf("protection failed: IS %v, DS %v", r.ISAchieved, r.DSAchieved)
+	}
+	if r.UnprotectedAchieved > r.DSAchieved/2 {
+		t.Fatalf("contention ineffective: unprotected %v", r.UnprotectedAchieved)
+	}
+}
+
+func TestLatencyClassUnderContention(t *testing.T) {
+	r := RunLatency(Config{Seed: 1, TimeScale: 0.3})
+	// The expedited queue keeps small-message RTT at the quiet
+	// baseline; best effort queues behind the blast and hits RTO
+	// tails.
+	if r.LowLatency.Median > 2*r.Uncontended {
+		t.Fatalf("low-latency median %v vs quiet %v, want ~equal", r.LowLatency.Median, r.Uncontended)
+	}
+	if r.BestEffort.Median < 2*r.LowLatency.Median {
+		t.Fatalf("best-effort median %v vs low-latency %v, want queueing penalty", r.BestEffort.Median, r.LowLatency.Median)
+	}
+	if r.BestEffort.P99 < 10*r.LowLatency.P99 {
+		t.Fatalf("best-effort p99 %v vs low-latency %v, want heavy tail", r.BestEffort.P99, r.LowLatency.P99)
+	}
+}

@@ -1,0 +1,115 @@
+package gara
+
+import (
+	"fmt"
+
+	"mpichgq/internal/dsrt"
+)
+
+// CPURM is GARA's resource manager for the DSRT soft-real-time CPU
+// scheduler: advance bookings live in a per-CPU slot table; activation
+// installs the reservation into DSRT.
+type CPURM struct {
+	tables map[*dsrt.CPU]*SlotTable
+}
+
+// MaxCPUReservation is DSRT's admission ceiling per processor.
+const MaxCPUReservation = 0.95
+
+// NewCPURM returns an empty CPU resource manager.
+func NewCPURM() *CPURM {
+	return &CPURM{tables: make(map[*dsrt.CPU]*SlotTable)}
+}
+
+// Type implements ResourceManager.
+func (rm *CPURM) Type() ResourceType { return ResourceCPU }
+
+func (rm *CPURM) table(c *dsrt.CPU) *SlotTable {
+	st := rm.tables[c]
+	if st == nil {
+		st = NewSlotTable(MaxCPUReservation)
+		rm.tables[c] = st
+	}
+	return st
+}
+
+func cpuOf(r *Reservation) (*dsrt.Task, error) {
+	if r.spec.Task == nil {
+		return nil, fmt.Errorf("gara: CPU spec has no task")
+	}
+	return r.spec.Task, nil
+}
+
+// Admit implements ResourceManager.
+func (rm *CPURM) Admit(r *Reservation) error {
+	task, err := cpuOf(r)
+	if err != nil {
+		return err
+	}
+	if r.spec.Fraction <= 0 || r.spec.Fraction > MaxCPUReservation {
+		return fmt.Errorf("gara: CPU fraction %.2f out of (0, %.2f]", r.spec.Fraction, MaxCPUReservation)
+	}
+	return rm.table(taskCPU(task)).Insert(r.id, r.start, r.end, r.spec.Fraction)
+}
+
+// Release implements ResourceManager.
+func (rm *CPURM) Release(r *Reservation) {
+	for _, st := range rm.tables {
+		st.Remove(r.id)
+	}
+}
+
+// Activate implements ResourceManager.
+func (rm *CPURM) Activate(r *Reservation) error {
+	task, err := cpuOf(r)
+	if err != nil {
+		return err
+	}
+	return task.SetReservation(r.spec.Fraction)
+}
+
+// Deactivate implements ResourceManager.
+func (rm *CPURM) Deactivate(r *Reservation) {
+	if task := r.spec.Task; task != nil {
+		// Ignore the error: clearing to zero always passes admission.
+		_ = task.SetReservation(0)
+	}
+}
+
+// Modify implements ResourceManager: rebook the fraction and, if
+// active, retune DSRT.
+func (rm *CPURM) Modify(r *Reservation, spec Spec) error {
+	if spec.Task != r.spec.Task {
+		return fmt.Errorf("gara: cannot move a CPU reservation between tasks")
+	}
+	task, err := cpuOf(r)
+	if err != nil {
+		return err
+	}
+	if spec.Fraction <= 0 || spec.Fraction > MaxCPUReservation {
+		return fmt.Errorf("gara: CPU fraction %.2f out of (0, %.2f]", spec.Fraction, MaxCPUReservation)
+	}
+	now := r.g.k.Now()
+	start, end := spec.window(now)
+	if r.state == StateActive {
+		start = r.start
+	}
+	if err := rm.table(taskCPU(task)).Update(r.id, start, end, spec.Fraction); err != nil {
+		return err
+	}
+	r.spec = spec
+	r.start, r.end = start, end
+	if r.state == StateActive {
+		if err := task.SetReservation(spec.Fraction); err != nil {
+			return err
+		}
+		if r.endTimer != nil {
+			r.endTimer.Cancel()
+			r.endTimer = nil
+		}
+		r.armEnd()
+	}
+	return nil
+}
+
+func taskCPU(task *dsrt.Task) *dsrt.CPU { return task.CPU() }

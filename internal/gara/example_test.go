@@ -1,0 +1,38 @@
+package gara_test
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/units"
+)
+
+// An advance reservation is admitted against the slot table, activates
+// at its start time, and expires at its end — with callbacks at each
+// transition.
+func Example_advanceReservation() {
+	tb := garnet.New(1)
+	res, err := tb.Gara.Reserve(gara.Spec{
+		Type:      gara.ResourceNetwork,
+		Flow:      diffserv.MatchHostPair(tb.PremSrc.Addr(), tb.PremDst.Addr(), netsim.ProtoTCP),
+		Bandwidth: 40 * units.Mbps,
+		Start:     10 * time.Second,
+		Duration:  10 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res.OnChange(func(r *gara.Reservation, s gara.State) {
+		fmt.Printf("t=%v: %v\n", tb.K.Now(), s)
+	})
+	fmt.Printf("t=%v: %v\n", tb.K.Now(), res.State())
+	tb.K.RunUntil(30 * time.Second)
+	// Output:
+	// t=0s: pending
+	// t=10s: active
+	// t=20s: expired
+}

@@ -1,0 +1,321 @@
+package gara
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// ResourceType names a class of reservable resource.
+type ResourceType string
+
+// The resource types the paper's GARA deployment managed.
+const (
+	// ResourceNetwork is premium (EF) network bandwidth via the DS
+	// resource manager.
+	ResourceNetwork ResourceType = "network"
+	// ResourceCPU is a soft-real-time CPU share via the DSRT
+	// resource manager.
+	ResourceCPU ResourceType = "cpu"
+	// ResourceStorage is read bandwidth on a DPSS-style network
+	// storage server.
+	ResourceStorage ResourceType = "storage"
+)
+
+// State is a reservation's lifecycle state.
+type State int
+
+// Reservation lifecycle states.
+const (
+	// StatePending: admitted advance reservation, start time not yet
+	// reached.
+	StatePending State = iota
+	// StateActive: enforcement is in effect.
+	StateActive
+	// StateExpired: the reservation's scheduled end passed.
+	StateExpired
+	// StateCancelled: the holder cancelled the reservation.
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateActive:
+		return "active"
+	case StateExpired:
+		return "expired"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors returned by reservation operations.
+var (
+	ErrNoManager     = errors.New("gara: no resource manager for type")
+	ErrNotModifiable = errors.New("gara: reservation not in a modifiable state")
+)
+
+// Spec describes a requested reservation. Type selects the resource
+// manager; the manager reads its own fields and ignores the rest.
+type Spec struct {
+	Type ResourceType
+	// Start is the absolute virtual start time. A Start at or before
+	// "now" is an immediate reservation; later is an advance
+	// reservation.
+	Start time.Duration
+	// Duration of enforcement; 0 or Forever means until cancelled.
+	Duration time.Duration
+
+	// Network fields.
+	Flow      diffserv.Match // must pin Src and Dst for path lookup
+	Bandwidth units.BitRate
+	// BucketDepth overrides the manager's depth policy when non-zero.
+	BucketDepth units.ByteSize
+
+	// CPU fields.
+	Task     *dsrt.Task
+	Fraction float64
+
+	// Storage fields.
+	Store    *DPSS
+	ReadRate units.BitRate
+}
+
+// window returns the absolute [start, end) of the spec given now.
+func (s Spec) window(now time.Duration) (time.Duration, time.Duration) {
+	start := s.Start
+	if start < now {
+		start = now
+	}
+	if s.Duration <= 0 || s.Duration == Forever {
+		return start, Forever
+	}
+	return start, start + s.Duration
+}
+
+// ResourceManager is the uniform interface GARA drives. Admit performs
+// admission control and books slot-table capacity; Activate and
+// Deactivate enforce; Modify rebooks and re-enforces.
+type ResourceManager interface {
+	Type() ResourceType
+	// Admit books capacity for r.Spec and returns an error if the
+	// request cannot be satisfied.
+	Admit(r *Reservation) error
+	// Release frees the booked capacity.
+	Release(r *Reservation)
+	// Activate begins enforcement (install router rules, set CPU
+	// shares, ...).
+	Activate(r *Reservation) error
+	// Deactivate ends enforcement.
+	Deactivate(r *Reservation)
+	// Modify atomically rebooks and (if active) re-enforces r with
+	// the new spec.
+	Modify(r *Reservation, spec Spec) error
+}
+
+// Gara is the reservation front end: one instance per administrative
+// domain, dispatching to registered resource managers.
+type Gara struct {
+	k        *sim.Kernel
+	managers map[ResourceType]ResourceManager
+	nextID   uint64
+}
+
+// New returns a Gara with no managers registered.
+func New(k *sim.Kernel) *Gara {
+	return &Gara{k: k, managers: make(map[ResourceType]ResourceManager)}
+}
+
+// Register installs a resource manager. Only certain elements of the
+// generic machinery need replacing to support a new resource type.
+func (g *Gara) Register(rm ResourceManager) {
+	if _, dup := g.managers[rm.Type()]; dup {
+		panic(fmt.Sprintf("gara: duplicate manager for %q", rm.Type()))
+	}
+	g.managers[rm.Type()] = rm
+}
+
+// Manager returns the registered manager for a type, or nil.
+func (g *Gara) Manager(t ResourceType) ResourceManager { return g.managers[t] }
+
+// Kernel returns the simulation kernel.
+func (g *Gara) Kernel() *sim.Kernel { return g.k }
+
+// Reservation is the opaque handle returned by Reserve: it allows the
+// holder to modify, cancel, and monitor the reservation.
+type Reservation struct {
+	g     *Gara
+	id    uint64
+	spec  Spec
+	state State
+	rm    ResourceManager
+
+	start, end time.Duration
+	startTimer *sim.Timer
+	endTimer   *sim.Timer
+	callbacks  []func(*Reservation, State)
+
+	// rmData carries the manager's enforcement attachment (e.g. the
+	// installed diffserv.FlowReservation).
+	rmData any
+}
+
+// ID returns the reservation's unique id (also its slot-table key).
+func (r *Reservation) ID() uint64 { return r.id }
+
+// Spec returns the current specification.
+func (r *Reservation) Spec() Spec { return r.spec }
+
+// State returns the current lifecycle state.
+func (r *Reservation) State() State { return r.state }
+
+// Window returns the absolute enforcement window.
+func (r *Reservation) Window() (start, end time.Duration) { return r.start, r.end }
+
+// OnChange registers a callback invoked on every state transition —
+// GARA's "callback mechanism in which a user's function is called
+// every time the state of the reservation changes in an interesting
+// way".
+func (r *Reservation) OnChange(fn func(*Reservation, State)) {
+	r.callbacks = append(r.callbacks, fn)
+}
+
+func (r *Reservation) transition(s State) {
+	r.state = s
+	for _, fn := range r.callbacks {
+		fn(r, s)
+	}
+}
+
+// Reserve requests an immediate or advance reservation. On success the
+// returned handle is Pending (advance) or Active (immediate).
+func (g *Gara) Reserve(spec Spec) (*Reservation, error) {
+	rm := g.managers[spec.Type]
+	if rm == nil {
+		return nil, fmt.Errorf("%w %q", ErrNoManager, spec.Type)
+	}
+	g.nextID++
+	r := &Reservation{g: g, id: g.nextID, spec: spec, rm: rm}
+	r.start, r.end = spec.window(g.k.Now())
+	if err := rm.Admit(r); err != nil {
+		return nil, err
+	}
+	if r.start <= g.k.Now() {
+		if err := rm.Activate(r); err != nil {
+			rm.Release(r)
+			return nil, err
+		}
+		r.state = StateActive
+		r.armEnd()
+		return r, nil
+	}
+	r.state = StatePending
+	r.startTimer = g.k.At(r.start, sim.PrioNormal, func() {
+		r.startTimer = nil
+		if r.state != StatePending {
+			return
+		}
+		if err := r.rm.Activate(r); err != nil {
+			// Enforcement failed at start time; release and report.
+			r.rm.Release(r)
+			r.transition(StateCancelled)
+			return
+		}
+		r.transition(StateActive)
+		r.armEnd()
+	})
+	return r, nil
+}
+
+func (r *Reservation) armEnd() {
+	if r.end == Forever {
+		return
+	}
+	r.endTimer = r.g.k.At(r.end, sim.PrioNormal, func() {
+		r.endTimer = nil
+		if r.state != StateActive {
+			return
+		}
+		r.rm.Deactivate(r)
+		r.rm.Release(r)
+		r.transition(StateExpired)
+	})
+}
+
+// Modify changes the reservation in place (e.g. a new bandwidth). The
+// resource type may not change. Allowed while Pending or Active.
+func (r *Reservation) Modify(spec Spec) error {
+	if r.state != StatePending && r.state != StateActive {
+		return ErrNotModifiable
+	}
+	if spec.Type != r.spec.Type {
+		return fmt.Errorf("gara: cannot change resource type %q -> %q", r.spec.Type, spec.Type)
+	}
+	return r.rm.Modify(r, spec)
+}
+
+// Cancel releases the reservation. Idempotent.
+func (r *Reservation) Cancel() {
+	if r.state != StatePending && r.state != StateActive {
+		return
+	}
+	if r.startTimer != nil {
+		r.startTimer.Cancel()
+		r.startTimer = nil
+	}
+	if r.endTimer != nil {
+		r.endTimer.Cancel()
+		r.endTimer = nil
+	}
+	if r.state == StateActive {
+		r.rm.Deactivate(r)
+	}
+	r.rm.Release(r)
+	r.transition(StateCancelled)
+}
+
+// Probe checks whether spec could be admitted right now, without
+// holding any capacity: it books and immediately releases. Resource
+// selection at program startup uses this to compare candidate
+// placements before committing.
+func (g *Gara) Probe(spec Spec) error {
+	rm := g.managers[spec.Type]
+	if rm == nil {
+		return fmt.Errorf("%w %q", ErrNoManager, spec.Type)
+	}
+	g.nextID++
+	r := &Reservation{g: g, id: g.nextID, spec: spec, rm: rm}
+	r.start, r.end = spec.window(g.k.Now())
+	if err := rm.Admit(r); err != nil {
+		return err
+	}
+	rm.Release(r)
+	return nil
+}
+
+// CoReserve atomically requests several reservations: either all are
+// admitted or none are ("co-reservation of CPU, network, and other
+// resources needed for end-to-end performance").
+func (g *Gara) CoReserve(specs ...Spec) ([]*Reservation, error) {
+	var got []*Reservation
+	for _, spec := range specs {
+		r, err := g.Reserve(spec)
+		if err != nil {
+			for _, prev := range got {
+				prev.Cancel()
+			}
+			return nil, fmt.Errorf("gara: co-reservation failed on %q: %w", spec.Type, err)
+		}
+		got = append(got, r)
+	}
+	return got, nil
+}

@@ -1,0 +1,81 @@
+package gara
+
+import (
+	"errors"
+	"fmt"
+
+	"mpichgq/internal/netsim"
+)
+
+// Multi-domain co-reservation: GARA "uses mechanisms provided by the
+// Globus toolkit to address resource discovery and security issues
+// when resources span multiple administrative domains" (§4.2), and
+// GARNET itself connected to the ESnet and MREN testbeds. Here each
+// administrative domain runs its own Gara with a *scoped* NetworkRM
+// that owns a subset of links; a MultiDomain coordinator splits an
+// end-to-end request into per-domain segment reservations, all or
+// nothing.
+
+// ErrNotInDomain is returned by a scoped NetworkRM when a flow's path
+// does not traverse any link the domain owns.
+var ErrNotInDomain = errors.New("gara: flow path does not enter this domain")
+
+// Scope restricts a NetworkRM to the links it administers. Nil means
+// the RM owns every link (single-domain deployment).
+type Scope func(*netsim.Iface) bool
+
+// LinkScope builds a Scope from an explicit link set.
+func LinkScope(links ...*netsim.Link) Scope {
+	owned := make(map[*netsim.Link]bool, len(links))
+	for _, l := range links {
+		owned[l] = true
+	}
+	return func(ifc *netsim.Iface) bool { return owned[ifc.Link()] }
+}
+
+// MultiDomain coordinates end-to-end reservations across domains.
+type MultiDomain struct {
+	domains []*Gara
+}
+
+// NewMultiDomain returns a coordinator over the given domain Garas
+// (each registered with a scoped NetworkRM).
+func NewMultiDomain(domains ...*Gara) *MultiDomain {
+	if len(domains) == 0 {
+		panic("gara: MultiDomain needs at least one domain")
+	}
+	return &MultiDomain{domains: domains}
+}
+
+// Reserve books spec in every domain the flow traverses: domains whose
+// scope the path never enters are skipped; any admission failure rolls
+// back the segments already booked. At least one domain must admit.
+func (m *MultiDomain) Reserve(spec Spec) ([]*Reservation, error) {
+	var got []*Reservation
+	admitted := 0
+	for i, g := range m.domains {
+		r, err := g.Reserve(spec)
+		if err != nil {
+			if errors.Is(err, ErrNotInDomain) {
+				continue
+			}
+			for _, prev := range got {
+				prev.Cancel()
+			}
+			return nil, fmt.Errorf("gara: domain %d refused: %w", i, err)
+		}
+		got = append(got, r)
+		admitted++
+	}
+	if admitted == 0 {
+		return nil, fmt.Errorf("gara: no domain owns any hop of the flow's path")
+	}
+	return got, nil
+}
+
+// CancelAll cancels every segment of a multi-domain reservation.
+func CancelAll(rs []*Reservation) {
+	for _, r := range rs {
+		r.Cancel()
+	}
+}

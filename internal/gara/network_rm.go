@@ -1,0 +1,276 @@
+package gara
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// NetworkRM is GARA's Differentiated Services resource manager plus
+// bandwidth broker: it performs per-link admission control against the
+// EF share of each link on the flow's path, and enforces admitted
+// reservations by installing token-bucket classifier rules at the edge
+// router's ingress interface.
+type NetworkRM struct {
+	k          *sim.Kernel
+	net        *netsim.Network
+	domain     *diffserv.Domain
+	efFraction float64
+	// tables book EF capacity per transmit direction: the key is the
+	// egress interface, so a full-duplex link offers its EF share
+	// independently in each direction.
+	tables map[*netsim.Iface]*SlotTable
+
+	// DepthDivisor is the bucket policy used when a spec does not fix
+	// a depth: depth = bandwidth / DepthDivisor (§4.3's
+	// bandwidth/40 default).
+	DepthDivisor int
+	// Exceed is the policer's out-of-profile action (drop, per the
+	// testbed configuration).
+	Exceed diffserv.ExceedAction
+	// Scope restricts this manager to the links its administrative
+	// domain owns; nil owns everything. With a scope set, Admit books
+	// only in-scope hops (ErrNotInDomain when there are none) and
+	// Activate installs edge marking only when the flow *originates*
+	// in this domain — transit domains honor the upstream marking.
+	Scope Scope
+}
+
+// NewNetworkRM returns a manager that admits EF reservations up to
+// efFraction of each link's rate (the broker's anti-starvation limit:
+// "the number of expedited packets must be carefully limited").
+func NewNetworkRM(net *netsim.Network, domain *diffserv.Domain, efFraction float64) *NetworkRM {
+	if efFraction <= 0 || efFraction > 1 {
+		panic(fmt.Sprintf("gara: EF fraction %v out of (0, 1]", efFraction))
+	}
+	return &NetworkRM{
+		k:            net.Kernel(),
+		net:          net,
+		domain:       domain,
+		efFraction:   efFraction,
+		tables:       make(map[*netsim.Iface]*SlotTable),
+		DepthDivisor: diffserv.NormalBucketDivisor,
+		Exceed:       diffserv.ExceedDrop,
+	}
+}
+
+// Type implements ResourceManager.
+func (rm *NetworkRM) Type() ResourceType { return ResourceNetwork }
+
+func (rm *NetworkRM) table(out *netsim.Iface) *SlotTable {
+	st := rm.tables[out]
+	if st == nil {
+		st = NewSlotTable(float64(out.Link().Rate()) * rm.efFraction)
+		rm.tables[out] = st
+	}
+	return st
+}
+
+// Table exposes one transmit direction's slot table (for inspection
+// tools): the table of the given egress interface.
+func (rm *NetworkRM) Table(out *netsim.Iface) *SlotTable { return rm.table(out) }
+
+// path walks the routing tables from src to dst, returning the egress
+// interfaces traversed (the capacity consumed, per direction) and the
+// ingress interface of the first router (where edge classification
+// and policing happen).
+func (rm *NetworkRM) path(src, dst netsim.Addr) ([]*netsim.Iface, *netsim.Iface, error) {
+	var srcNode *netsim.Node
+	for _, nd := range rm.net.Nodes() {
+		if nd.Addr() == src {
+			srcNode = nd
+			break
+		}
+	}
+	if srcNode == nil {
+		return nil, nil, fmt.Errorf("gara: unknown source address %d", src)
+	}
+	var hops []*netsim.Iface
+	var edgeIngress *netsim.Iface
+	node := srcNode
+	for node.Addr() != dst {
+		out := node.RouteTo(dst)
+		if out == nil {
+			return nil, nil, fmt.Errorf("gara: no route from %q toward %d", node.Name(), dst)
+		}
+		hops = append(hops, out)
+		if edgeIngress == nil {
+			edgeIngress = out.Peer()
+		}
+		node = out.Peer().Node()
+		if len(hops) > len(rm.net.Nodes()) {
+			return nil, nil, fmt.Errorf("gara: routing loop toward %d", dst)
+		}
+	}
+	if len(hops) == 0 {
+		return nil, nil, fmt.Errorf("gara: source and destination are the same node")
+	}
+	return hops, edgeIngress, nil
+}
+
+func specPath(spec Spec) (netsim.Addr, netsim.Addr, error) {
+	if spec.Flow.Src == nil || spec.Flow.Dst == nil {
+		return 0, 0, fmt.Errorf("gara: network spec must pin flow source and destination")
+	}
+	return *spec.Flow.Src, *spec.Flow.Dst, nil
+}
+
+// Admit implements ResourceManager: book spec.Bandwidth on every link
+// of the path for the reservation window.
+func (rm *NetworkRM) Admit(r *Reservation) error {
+	spec := r.spec
+	if spec.Bandwidth <= 0 {
+		return fmt.Errorf("gara: non-positive bandwidth %v", spec.Bandwidth)
+	}
+	src, dst, err := specPath(spec)
+	if err != nil {
+		return err
+	}
+	hops, _, err := rm.path(src, dst)
+	if err != nil {
+		return err
+	}
+	hops = rm.owned(hops)
+	if len(hops) == 0 {
+		return ErrNotInDomain
+	}
+	var booked []*netsim.Iface
+	for _, out := range hops {
+		if err := rm.table(out).Insert(r.id, r.start, r.end, float64(spec.Bandwidth)); err != nil {
+			for _, b := range booked {
+				rm.table(b).Remove(r.id)
+			}
+			return fmt.Errorf("gara: admission failed on link %s: %w", out.Link().Name(), err)
+		}
+		booked = append(booked, out)
+	}
+	return nil
+}
+
+// Release implements ResourceManager.
+func (rm *NetworkRM) Release(r *Reservation) {
+	for _, st := range rm.tables {
+		st.Remove(r.id)
+	}
+}
+
+// depthFor computes the token bucket depth for a spec.
+func (rm *NetworkRM) depthFor(spec Spec) units.ByteSize {
+	if spec.BucketDepth > 0 {
+		return spec.BucketDepth
+	}
+	return diffserv.DepthForRate(spec.Bandwidth, rm.DepthDivisor)
+}
+
+// Activate implements ResourceManager: install the classify+mark+
+// police rule at the edge ingress. Scoped managers only do this when
+// the flow originates in their domain; transit segments need no rule
+// (packets arrive already marked EF and ride the aggregate).
+func (rm *NetworkRM) Activate(r *Reservation) error {
+	src, dst, err := specPath(r.spec)
+	if err != nil {
+		return err
+	}
+	hops, edgeIngress, err := rm.path(src, dst)
+	if err != nil {
+		return err
+	}
+	if rm.Scope != nil && !rm.Scope(hops[0]) {
+		return nil // transit domain
+	}
+	fr := rm.domain.ReserveFlow(edgeIngress, r.spec.Flow, r.spec.Bandwidth, rm.depthFor(r.spec), rm.Exceed)
+	r.rmData = fr
+	return nil
+}
+
+// owned filters hops to this manager's scope.
+func (rm *NetworkRM) owned(hops []*netsim.Iface) []*netsim.Iface {
+	if rm.Scope == nil {
+		return hops
+	}
+	var out []*netsim.Iface
+	for _, h := range hops {
+		if rm.Scope(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Deactivate implements ResourceManager.
+func (rm *NetworkRM) Deactivate(r *Reservation) {
+	if fr, ok := r.rmData.(*diffserv.FlowReservation); ok && fr != nil {
+		fr.Remove()
+		r.rmData = nil
+	}
+}
+
+// Modify implements ResourceManager: rebook the path slots at the new
+// bandwidth/window and retune the installed token bucket in place.
+// The flow itself (endpoints) may not change.
+func (rm *NetworkRM) Modify(r *Reservation, spec Spec) error {
+	oldSrc, oldDst, _ := specPath(r.spec)
+	newSrc, newDst, err := specPath(spec)
+	if err != nil {
+		return err
+	}
+	if oldSrc != newSrc || oldDst != newDst {
+		return fmt.Errorf("gara: cannot modify a reservation's endpoints")
+	}
+	hops, _, err := rm.path(newSrc, newDst)
+	if err != nil {
+		return err
+	}
+	hops = rm.owned(hops)
+	now := rm.k.Now()
+	start, end := spec.window(now)
+	if r.state == StateActive {
+		start = r.start // enforcement already began
+	}
+	var done []*netsim.Iface
+	for _, out := range hops {
+		if err := rm.table(out).Update(r.id, start, end, float64(spec.Bandwidth)); err != nil {
+			for _, d := range done {
+				rm.table(d).Update(r.id, r.start, r.end, float64(r.spec.Bandwidth))
+			}
+			return err
+		}
+		done = append(done, out)
+	}
+	r.spec = spec
+	r.start, r.end = start, end
+	if r.state == StateActive {
+		if fr, ok := r.rmData.(*diffserv.FlowReservation); ok && fr != nil {
+			fr.SetRate(spec.Bandwidth)
+			fr.SetDepth(rm.depthFor(spec))
+		}
+		if r.endTimer != nil {
+			r.endTimer.Cancel()
+			r.endTimer = nil
+		}
+		r.armEnd()
+	}
+	return nil
+}
+
+// Utilization reports the EF commitment on link l at time t as a
+// fraction of the link's EF capacity — the maximum over its two
+// transmit directions.
+func (rm *NetworkRM) Utilization(l *netsim.Link, t time.Duration) float64 {
+	util := func(out *netsim.Iface) float64 {
+		st := rm.table(out)
+		if st.Capacity() == 0 {
+			return 0
+		}
+		return st.CommittedAt(t) / st.Capacity()
+	}
+	a, b := util(l.A()), util(l.B())
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package gara
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mpichgq/internal/sim"
+)
+
+func TestSlotTableBasicAdmission(t *testing.T) {
+	st := NewSlotTable(100)
+	if err := st.Insert(1, 0, 10*time.Second, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert(2, 0, 10*time.Second, 50); err == nil {
+		t.Fatal("60+50 should exceed capacity 100")
+	}
+	if err := st.Insert(2, 0, 10*time.Second, 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CommittedAt(5 * time.Second); got != 100 {
+		t.Fatalf("committed = %v, want 100", got)
+	}
+}
+
+func TestSlotTableNonOverlappingIntervals(t *testing.T) {
+	st := NewSlotTable(100)
+	if err := st.Insert(1, 0, 10*time.Second, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint interval: full capacity available again.
+	if err := st.Insert(2, 10*time.Second, 20*time.Second, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping both: must fail.
+	if err := st.Insert(3, 5*time.Second, 15*time.Second, 1); err == nil {
+		t.Fatal("overlap should be rejected")
+	}
+}
+
+func TestSlotTablePartialOverlapBoundaries(t *testing.T) {
+	st := NewSlotTable(100)
+	st.Insert(1, 5*time.Second, 10*time.Second, 80)
+	// Candidate [0, 7s) overlaps [5s,10s): 30+80 > 100 at t=5s even
+	// though t=0 is clear.
+	if st.Available(0, 7*time.Second, 30) {
+		t.Fatal("boundary-interior overload not detected")
+	}
+	if !st.Available(0, 5*time.Second, 30) {
+		t.Fatal("[0,5s) should be admissible")
+	}
+}
+
+func TestSlotTableRemove(t *testing.T) {
+	st := NewSlotTable(100)
+	st.Insert(1, 0, Forever, 70)
+	if !st.Remove(1) {
+		t.Fatal("remove existing should report true")
+	}
+	if st.Remove(1) {
+		t.Fatal("double remove should report false")
+	}
+	if err := st.Insert(2, 0, Forever, 100); err != nil {
+		t.Fatalf("capacity not freed: %v", err)
+	}
+}
+
+func TestSlotTableUpdateRollsBack(t *testing.T) {
+	st := NewSlotTable(100)
+	st.Insert(1, 0, Forever, 50)
+	st.Insert(2, 0, Forever, 40)
+	// Growing id 2 to 60 exceeds capacity; original must survive.
+	if err := st.Update(2, 0, Forever, 60); err == nil {
+		t.Fatal("update should fail")
+	}
+	if got := st.CommittedAt(time.Second); got != 90 {
+		t.Fatalf("committed after failed update = %v, want 90", got)
+	}
+	if err := st.Update(2, 0, Forever, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CommittedAt(time.Second); got != 100 {
+		t.Fatalf("committed after update = %v, want 100", got)
+	}
+}
+
+func TestSlotTableTrim(t *testing.T) {
+	st := NewSlotTable(10)
+	st.Insert(1, 0, time.Second, 5)
+	st.Insert(2, 0, Forever, 5)
+	st.TrimBefore(2 * time.Second)
+	if st.Len() != 1 {
+		t.Fatalf("len after trim = %d, want 1", st.Len())
+	}
+}
+
+// Property: random admit/remove sequences never oversubscribe at any
+// sampled instant.
+func TestSlotTableNeverOversubscribedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		st := NewSlotTable(100)
+		var ids []uint64
+		var id uint64
+		for op := 0; op < 100; op++ {
+			if rng.Intn(3) == 0 && len(ids) > 0 {
+				i := rng.Intn(len(ids))
+				st.Remove(ids[i])
+				ids = append(ids[:i], ids[i+1:]...)
+				continue
+			}
+			id++
+			start := time.Duration(rng.Intn(100)) * time.Second
+			end := start + time.Duration(rng.Intn(50)+1)*time.Second
+			amt := float64(rng.Intn(60) + 1)
+			if st.Insert(id, start, end, amt) == nil {
+				ids = append(ids, id)
+			}
+		}
+		for probe := time.Duration(0); probe < 150*time.Second; probe += time.Second {
+			if st.CommittedAt(probe) > 100+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package garnet builds the Globus Advance Reservation Network
+// Testbed of §5.1/Figure 4: premium and competitive source/destination
+// hosts around three Cisco-7507-class routers, with EF priority
+// queueing on every router port and a GARA instance (DS network
+// manager, DSRT CPU manager, DPSS storage manager) managing the
+// domain.
+//
+//	premSrc ─┐                        ┌─ premDst
+//	         edge1 ── core ── edge2 ──┤
+//	compSrc ─┘                        └─ compDst
+//
+// Within GARNET the routers are connected by OC3 ATM (155 Mb/s); end
+// systems attach by switched Fast Ethernet or OC3. Link delays are
+// sized so the end-to-end delay is "on the order of a millisecond or
+// two", matching the bandwidth×delay bucket arithmetic of §4.3.
+package garnet
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/units"
+)
+
+// Options configure the testbed build.
+type Options struct {
+	// LinkRate is the router-to-router (OC3) rate. Default 155 Mb/s.
+	LinkRate units.BitRate
+	// AccessRate is the host-to-edge rate. Default 155 Mb/s (OC3
+	// attachment, so a single competitive host can overwhelm the
+	// core path like the paper's UDP generator).
+	AccessRate units.BitRate
+	// HopDelay is the one-way delay per link. Default 250 µs, giving
+	// a ~2 ms round trip across the testbed.
+	HopDelay time.Duration
+	// EFFraction caps EF reservations per link. Default 0.7.
+	EFFraction float64
+	// Seed for the simulation kernel. Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LinkRate == 0 {
+		o.LinkRate = 155 * units.Mbps
+	}
+	if o.AccessRate == 0 {
+		o.AccessRate = 155 * units.Mbps
+	}
+	if o.HopDelay == 0 {
+		o.HopDelay = 250 * time.Microsecond
+	}
+	if o.EFFraction == 0 {
+		o.EFFraction = 0.7
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Testbed is a built GARNET instance.
+type Testbed struct {
+	K   *sim.Kernel
+	Net *netsim.Network
+
+	PremSrc, PremDst   *netsim.Node
+	CompSrc, CompDst   *netsim.Node
+	Edge1, Core, Edge2 *netsim.Node
+
+	// Bottleneck is the edge1-core link every cross-testbed flow
+	// shares.
+	Bottleneck *netsim.Link
+
+	Domain *diffserv.Domain
+	Gara   *gara.Gara
+	NetRM  *gara.NetworkRM
+	CPURM  *gara.CPURM
+
+	opts Options
+}
+
+// New builds the testbed with defaults.
+func New(seed int64) *Testbed {
+	return NewWithOptions(Options{Seed: seed})
+}
+
+// NewWithOptions builds the testbed.
+func NewWithOptions(o Options) *Testbed {
+	o = o.withDefaults()
+	k := sim.New(o.Seed)
+	n := netsim.New(k)
+	tb := &Testbed{K: k, Net: n, opts: o}
+
+	tb.PremSrc = n.AddNode("prem-src")
+	tb.CompSrc = n.AddNode("comp-src")
+	tb.PremDst = n.AddNode("prem-dst")
+	tb.CompDst = n.AddNode("comp-dst")
+	tb.Edge1 = n.AddNode("edge1")
+	tb.Core = n.AddNode("core")
+	tb.Edge2 = n.AddNode("edge2")
+
+	n.Connect(tb.PremSrc, tb.Edge1, o.AccessRate, o.HopDelay)
+	n.Connect(tb.CompSrc, tb.Edge1, o.AccessRate, o.HopDelay)
+	tb.Bottleneck = n.Connect(tb.Edge1, tb.Core, o.LinkRate, o.HopDelay)
+	n.Connect(tb.Core, tb.Edge2, o.LinkRate, o.HopDelay)
+	n.Connect(tb.Edge2, tb.PremDst, o.AccessRate, o.HopDelay)
+	n.Connect(tb.Edge2, tb.CompDst, o.AccessRate, o.HopDelay)
+	n.ComputeRoutes()
+
+	tb.Domain = diffserv.NewDomain(k)
+	tb.Domain.EnableEFAll(tb.Edge1, tb.Core, tb.Edge2)
+
+	tb.Gara = gara.New(k)
+	tb.NetRM = gara.NewNetworkRM(n, tb.Domain, o.EFFraction)
+	tb.CPURM = gara.NewCPURM()
+	tb.Gara.Register(tb.NetRM)
+	tb.Gara.Register(tb.CPURM)
+	tb.Gara.Register(gara.NewStorageRM())
+	return tb
+}
+
+// Options returns the options the testbed was built with.
+func (tb *Testbed) Options() Options { return tb.opts }
+
+// RTT returns the round-trip propagation delay between the premium
+// hosts (4 hops each way).
+func (tb *Testbed) RTT() time.Duration { return 8 * tb.opts.HopDelay }
+
+// AddSite attaches a remote site (an extra edge router plus host) to
+// the core over a constrained wide-area link, like GARNET's ESnet and
+// MREN attachments.
+func (tb *Testbed) AddSite(name string, wanRate units.BitRate, wanDelay time.Duration) *netsim.Node {
+	edge := tb.Net.AddNode(name + "-edge")
+	host := tb.Net.AddNode(name + "-host")
+	tb.Net.Connect(tb.Core, edge, wanRate, wanDelay)
+	tb.Net.Connect(edge, host, tb.opts.AccessRate, tb.opts.HopDelay)
+	tb.Net.ComputeRoutes()
+	tb.Domain.EnableEFAll(edge)
+	return host
+}
+
+// NewMPIPair builds a two-rank MPI job: rank 0 on the premium source,
+// rank 1 on the premium destination.
+func (tb *Testbed) NewMPIPair(tcpOpts tcpsim.Options, jobOpts mpi.JobOptions) *mpi.Job {
+	h0 := mpi.NewHost(tb.PremSrc, tcpOpts)
+	h1 := mpi.NewHost(tb.PremDst, tcpOpts)
+	return mpi.NewJob(tb.K, []*mpi.Host{h0, h1}, jobOpts)
+}
+
+// NewMPIJob builds an MPI job over explicit nodes (one rank per node
+// entry). A node appearing several times co-locates ranks on one
+// host: they share its TCP stack and CPU.
+func (tb *Testbed) NewMPIJob(nodes []*netsim.Node, tcpOpts tcpsim.Options, jobOpts mpi.JobOptions) *mpi.Job {
+	byNode := make(map[*netsim.Node]*mpi.Host)
+	hosts := make([]*mpi.Host, len(nodes))
+	for i, nd := range nodes {
+		h := byNode[nd]
+		if h == nil {
+			h = mpi.NewHost(nd, tcpOpts)
+			byNode[nd] = h
+		}
+		hosts[i] = h
+	}
+	return mpi.NewJob(tb.K, hosts, jobOpts)
+}
+
+// Topology renders the testbed's nodes and links for cmd/garnet
+// -topology.
+func (tb *Testbed) Topology() string {
+	s := "GARNET testbed topology:\n"
+	for _, l := range tb.Net.Links() {
+		s += fmt.Sprintf("  %-20s %8s  %v one-way\n", l.Name(), l.Rate(), l.Delay())
+	}
+	return s
+}

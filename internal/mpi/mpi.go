@@ -1,0 +1,358 @@
+// Package mpi implements the subset of the Message Passing Interface
+// that MPICH-GQ builds on: ranks, intracommunicators and two-party
+// intercommunicators with isolated contexts, blocking and nonblocking
+// point-to-point operations with eager and rendezvous protocols,
+// binomial-tree collectives, and — centrally for this paper — the MPI
+// attribute mechanism (keyvals, AttrPut/AttrGet) through which
+// applications specify QoS without leaving the MPI standard.
+//
+// Transport is TCP (tcpsim) through the globus-io wrapper, mirroring
+// MPICH-G2's TCP device: one connection per rank pair, established at
+// startup, with messages framed as stream markers.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/globusio"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/units"
+)
+
+// Host binds a rank to its execution resources: a network node with a
+// TCP stack and a CPU.
+type Host struct {
+	Node *netsim.Node
+	TCP  *tcpsim.Stack
+	CPU  *dsrt.CPU
+}
+
+// NewHost builds a Host on node nd, creating the TCP stack and CPU.
+func NewHost(nd *netsim.Node, tcpOpts tcpsim.Options) *Host {
+	return &Host{
+		Node: nd,
+		TCP:  tcpsim.NewStack(nd, tcpOpts),
+		CPU:  dsrt.NewCPU(nd.Network().Kernel(), nd.Name()),
+	}
+}
+
+// JobOptions tune an MPI job.
+type JobOptions struct {
+	// BasePort: rank i listens on BasePort+i. Default 5000.
+	BasePort netsim.Port
+	// EagerThreshold: messages at or below go eager; above use
+	// rendezvous. Default 128 KB (MPICH TCP device era default).
+	EagerThreshold units.ByteSize
+	// CopyCostPerKB charges each rank's CPU for socket copies (0 =
+	// free I/O).
+	CopyCostPerKB time.Duration
+	// SockBuf overrides both socket buffer sizes on MPI connections
+	// when non-zero (the §5.5 tuning knob).
+	SockBuf units.ByteSize
+	// Shaper enables end-system traffic shaping on all MPI
+	// connections (the §5.4 extension).
+	Shaper *globusio.ShaperConfig
+}
+
+func (o JobOptions) withDefaults() JobOptions {
+	if o.BasePort == 0 {
+		o.BasePort = 5000
+	}
+	if o.EagerThreshold == 0 {
+		o.EagerThreshold = 128 * units.KB
+	}
+	return o
+}
+
+// envelopeSize is the wire overhead of one message header.
+const envelopeSize = 64 * units.Byte
+
+// Job is one MPI application: size ranks bound to hosts.
+type Job struct {
+	k     *sim.Kernel
+	hosts []*Host
+	ranks []*Rank
+	opts  JobOptions
+
+	world    *Comm
+	nextCtx  int
+	ctxAlloc map[string]int // deterministic collective ctx allocation
+
+	ready  int
+	goCond *sim.Cond
+
+	keyvals map[Keyval]*keyvalInfo
+	nextKV  Keyval
+}
+
+// NewJob creates a job with one rank per host entry (a host may appear
+// multiple times to co-locate ranks).
+func NewJob(k *sim.Kernel, hosts []*Host, opts JobOptions) *Job {
+	if len(hosts) < 1 {
+		panic("mpi: job needs at least one rank")
+	}
+	j := &Job{
+		k:        k,
+		hosts:    hosts,
+		opts:     opts.withDefaults(),
+		nextCtx:  2, // 0/1 belong to the world communicator
+		ctxAlloc: make(map[string]int),
+		goCond:   sim.NewCond(k),
+		keyvals:  make(map[Keyval]*keyvalInfo),
+	}
+	group := make([]int, len(hosts))
+	for i := range group {
+		group[i] = i
+	}
+	j.world = &Comm{job: j, ctxID: 0, group: group}
+	for i, h := range hosts {
+		j.ranks = append(j.ranks, newRank(j, i, h))
+	}
+	return j
+}
+
+// Size returns the number of ranks.
+func (j *Job) Size() int { return len(j.ranks) }
+
+// Rank returns rank i's handle (valid after NewJob, usable after
+// Start).
+func (j *Job) Rank(i int) *Rank { return j.ranks[i] }
+
+// World returns the world communicator.
+func (j *Job) World() *Comm { return j.world }
+
+// Kernel returns the simulation kernel.
+func (j *Job) Kernel() *sim.Kernel { return j.k }
+
+// Start launches every rank: connections are established all-to-all,
+// then main runs on each rank's process. Call once.
+func (j *Job) Start(main func(ctx *sim.Ctx, r *Rank)) {
+	for _, r := range j.ranks {
+		r := r
+		j.k.Spawn(fmt.Sprintf("mpi-rank-%d", r.id), func(ctx *sim.Ctx) {
+			r.setup(ctx)
+			// Wait for every rank to finish wiring (MPI_Init).
+			j.ready++
+			if j.ready == len(j.ranks) {
+				j.goCond.Broadcast()
+			} else {
+				j.goCond.Wait(ctx)
+			}
+			main(ctx, r)
+			r.done = true
+		})
+	}
+}
+
+// Done reports whether every rank's main has returned.
+func (j *Job) Done() bool {
+	for _, r := range j.ranks {
+		if !r.done {
+			return false
+		}
+	}
+	return true
+}
+
+// allocCtx deterministically assigns a pair of context ids for a
+// collective communicator-creation call: every participant passes the
+// same key and receives the same ids.
+func (j *Job) allocCtx(key string) int {
+	if id, ok := j.ctxAlloc[key]; ok {
+		return id
+	}
+	id := j.nextCtx
+	j.nextCtx += 2
+	j.ctxAlloc[key] = id
+	return id
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	job  *Job
+	id   int
+	host *Host
+	task *dsrt.Task
+	done bool
+
+	listener  *tcpsim.Listener
+	conns     map[int]*globusio.IO
+	finalized bool
+
+	// Matching engine.
+	unexpected []*envelope
+	posted     []*postedRecv
+	matchedRdv []*envelope // matched rendezvous envelopes awaiting data
+	rdvPending map[uint64]*rdvSend
+	nextRdvSeq uint64
+
+	// Per-destination send sequence counters (diagnostics).
+	sent, received uint64
+
+	splitEpoch map[int]int // per-source-comm CommSplit call counter
+	pairEpoch  map[[3]int]int
+	worldComm  *Comm
+	deadPeers  map[int]bool
+}
+
+func newRank(j *Job, id int, h *Host) *Rank {
+	return &Rank{
+		job:        j,
+		id:         id,
+		host:       h,
+		task:       h.CPU.NewTask(fmt.Sprintf("rank-%d", id)),
+		conns:      make(map[int]*globusio.IO),
+		rdvPending: make(map[uint64]*rdvSend),
+		splitEpoch: make(map[int]int),
+		pairEpoch:  make(map[[3]int]int),
+	}
+}
+
+// ID returns the rank's world rank.
+func (r *Rank) ID() int { return r.id }
+
+// Host returns the rank's execution host.
+func (r *Rank) Host() *Host { return r.host }
+
+// Task returns the rank's DSRT CPU task, for application-level compute
+// and for CPU reservations.
+func (r *Rank) Task() *dsrt.Task { return r.task }
+
+// World returns this rank's view of the world communicator. Each rank
+// has its own handle (attributes are process-local in MPI), all
+// sharing context 0 and the full group.
+func (r *Rank) World() *Comm {
+	if r.worldComm == nil {
+		r.worldComm = &Comm{job: r.job, ctxID: 0, group: r.job.world.group}
+	}
+	return r.worldComm
+}
+
+// Compute burns CPU time on the rank's task (application "work").
+func (r *Rank) Compute(ctx *sim.Ctx, work time.Duration) {
+	r.task.Compute(ctx, work)
+}
+
+// port returns the listen port of rank i.
+func (j *Job) port(i int) netsim.Port {
+	return j.opts.BasePort + netsim.Port(i)
+}
+
+// ioConfig builds the globus-io wrapper configuration for this rank.
+func (r *Rank) ioConfig() globusio.Config {
+	return globusio.Config{
+		Task:          r.task,
+		CopyCostPerKB: r.job.opts.CopyCostPerKB,
+		Shaper:        r.job.opts.Shaper,
+	}
+}
+
+// hello is the first message on every MPI connection, identifying the
+// dialing rank.
+type hello struct{ from int }
+
+// setup wires this rank to all others: dial every lower rank, accept
+// from every higher rank.
+func (r *Rank) setup(ctx *sim.Ctx) {
+	l, err := r.host.TCP.Listen(r.job.port(r.id))
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d listen: %v", r.id, err))
+	}
+	r.listener = l
+	expectAccepts := r.job.Size() - 1 - r.id
+	acceptDone := sim.NewCond(r.job.k)
+	if expectAccepts > 0 {
+		ctx.SpawnChild(fmt.Sprintf("mpi-accept-%d", r.id), func(actx *sim.Ctx) {
+			for n := 0; n < expectAccepts; n++ {
+				c, err := l.Accept(actx)
+				if err != nil {
+					panic(fmt.Sprintf("mpi: rank %d accept: %v", r.id, err))
+				}
+				io := globusio.Wrap(r.job.k, c, r.ioConfig())
+				r.applySockBuf(io)
+				_, obj, err := io.ReadMsg(actx)
+				if err != nil {
+					panic(fmt.Sprintf("mpi: rank %d hello: %v", r.id, err))
+				}
+				peer := obj.(hello).from
+				r.registerConn(actx, peer, io)
+			}
+			acceptDone.Broadcast()
+		})
+	}
+	for peer := 0; peer < r.id; peer++ {
+		c, err := r.host.TCP.Dial(ctx, r.job.hosts[peer].Node.Addr(), r.job.port(peer))
+		if err != nil {
+			panic(fmt.Sprintf("mpi: rank %d dial %d: %v", r.id, peer, err))
+		}
+		io := globusio.Wrap(r.job.k, c, r.ioConfig())
+		r.applySockBuf(io)
+		if err := io.WriteMsg(ctx, int64ToSize(int64(envelopeSize)), hello{from: r.id}); err != nil {
+			panic(fmt.Sprintf("mpi: rank %d hello to %d: %v", r.id, peer, err))
+		}
+		r.registerConn(ctx, peer, io)
+	}
+	if expectAccepts > 0 && len(r.conns) < r.job.Size()-1 {
+		acceptDone.Wait(ctx)
+	}
+}
+
+func int64ToSize(n int64) units.ByteSize { return units.ByteSize(n) }
+
+func (r *Rank) applySockBuf(io *globusio.IO) {
+	if b := r.job.opts.SockBuf; b > 0 {
+		io.SetSockBufs(b, b)
+	}
+}
+
+// registerConn records the connection and starts its reader (the
+// progress engine for that peer).
+func (r *Rank) registerConn(ctx *sim.Ctx, peer int, io *globusio.IO) {
+	if _, dup := r.conns[peer]; dup {
+		panic(fmt.Sprintf("mpi: rank %d has duplicate connection to %d", r.id, peer))
+	}
+	r.conns[peer] = io
+	ctx.SpawnChild(fmt.Sprintf("mpi-reader-%d<-%d", r.id, peer), func(rctx *sim.Ctx) {
+		r.readerLoop(rctx, peer, io)
+	})
+}
+
+// Conn returns the wrapped connection to a peer world rank (nil for
+// self). Exposed so the QoS layer can bind flows to reservations.
+func (r *Rank) Conn(peer int) *globusio.IO { return r.conns[peer] }
+
+// Wtime returns elapsed virtual time in seconds (MPI_Wtime).
+func (r *Rank) Wtime(ctx *sim.Ctx) float64 { return ctx.Now().Seconds() }
+
+// Finalize performs a clean shutdown (MPI_Finalize): a world barrier,
+// then every connection is drained and closed and the listener shut
+// down. Communication after Finalize fails.
+func (r *Rank) Finalize(ctx *sim.Ctx) error {
+	if r.finalized {
+		return fmt.Errorf("mpi: rank %d already finalized", r.id)
+	}
+	if err := r.Barrier(ctx, r.World()); err != nil {
+		return err
+	}
+	r.finalized = true
+	for peer, conn := range r.conns {
+		// Drain may fail if the peer closed first; proceed to Close
+		// regardless — teardown is best effort past the barrier.
+		_ = conn.Drain(ctx)
+		conn.Close()
+		delete(r.conns, peer)
+	}
+	if r.listener != nil {
+		r.listener.Close()
+		r.listener = nil
+	}
+	r.task.Close()
+	return nil
+}
+
+// Finalized reports whether Finalize completed.
+func (r *Rank) Finalized() bool { return r.finalized }

@@ -1,0 +1,391 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mpichgq/internal/globusio"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Wildcards for Recv source and tag.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrRankFinished is returned when a communication partner's
+// connection has shut down.
+var ErrRankFinished = errors.New("mpi: peer connection closed")
+
+// Message is a received point-to-point message.
+type Message struct {
+	Src  int // sender's rank in the communicator used for Recv
+	Tag  int
+	Len  units.ByteSize
+	Data any
+}
+
+// wireKind discriminates protocol messages on a connection.
+type wireKind uint8
+
+const (
+	kindEager wireKind = iota
+	kindRTS
+	kindCTS
+	kindRdvData
+)
+
+// wireMsg is the marker object carried in the TCP stream for every
+// MPI-level message.
+type wireMsg struct {
+	kind wireKind
+	src  int // global rank of sender
+	ctx  int // communicator context id
+	tag  int
+	size units.ByteSize
+	data any
+	seq  uint64 // rendezvous transaction id
+}
+
+// envelope is a message known to the receiver (arrived eagerly, or
+// announced by RTS with data still in flight).
+type envelope struct {
+	src     int // global rank
+	ctx     int
+	tag     int
+	size    units.ByteSize
+	data    any
+	arrived bool      // data present
+	rdvSeq  uint64    // for RTS envelopes
+	rdvFrom int       // global rank to send CTS to
+	matched bool      // a posted recv claimed it
+	ready   *sim.Cond // signalled when data arrives (rendezvous)
+}
+
+// postedRecv is a blocked or nonblocking receive awaiting a match.
+type postedRecv struct {
+	src  int // global rank or AnySource
+	ctx  int
+	tag  int
+	env  *envelope
+	err  error
+	cond *sim.Cond
+}
+
+// peerDown fails pending and future receives from a finished peer,
+// and releases rendezvous senders waiting on its clear-to-send.
+func (r *Rank) peerDown(peer int) {
+	if r.deadPeers == nil {
+		r.deadPeers = make(map[int]bool)
+	}
+	r.deadPeers[peer] = true
+	kept := r.posted[:0]
+	for _, p := range r.posted {
+		if p.src == peer {
+			p.err = ErrRankFinished
+			p.cond.Broadcast()
+			continue
+		}
+		kept = append(kept, p)
+	}
+	r.posted = kept
+	for _, s := range r.rdvPending {
+		if s.peer == peer && !s.cts {
+			s.err = ErrRankFinished
+			s.cond.Broadcast()
+		}
+	}
+}
+
+// rdvSend tracks a sender-side rendezvous awaiting CTS.
+type rdvSend struct {
+	peer int
+	cond *sim.Cond
+	cts  bool
+	err  error
+}
+
+// readerLoop is the per-peer progress engine: it turns stream markers
+// into envelopes and drives the rendezvous protocol. When the peer's
+// connection shuts down (clean or not), pending receives from that
+// peer fail with ErrRankFinished rather than hanging.
+func (r *Rank) readerLoop(ctx *sim.Ctx, peer int, conn *globusio.IO) {
+	defer r.peerDown(peer)
+	for {
+		_, obj, err := conn.ReadMsg(ctx)
+		if err != nil {
+			_ = io.EOF // clean and unclean shutdown treated alike
+			return
+		}
+		m, ok := obj.(wireMsg)
+		if !ok {
+			panic(fmt.Sprintf("mpi: rank %d got non-wire object %T", r.id, obj))
+		}
+		switch m.kind {
+		case kindEager:
+			r.received++
+			r.deliver(&envelope{
+				src: m.src, ctx: m.ctx, tag: m.tag,
+				size: m.size, data: m.data, arrived: true,
+			})
+		case kindRTS:
+			env := &envelope{
+				src: m.src, ctx: m.ctx, tag: m.tag,
+				size: m.size, rdvSeq: m.seq, rdvFrom: m.src,
+				ready: sim.NewCond(r.job.k),
+			}
+			r.deliver(env)
+		case kindCTS:
+			if s := r.rdvPending[m.seq]; s != nil {
+				s.cts = true
+				s.cond.Broadcast()
+			}
+		case kindRdvData:
+			r.received++
+			r.completeRdv(m)
+		}
+	}
+}
+
+// deliver matches an incoming envelope against posted receives or
+// queues it as unexpected.
+func (r *Rank) deliver(env *envelope) {
+	for i, p := range r.posted {
+		if p.matches(env) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			p.env = env
+			env.matched = true
+			r.maybeCTS(env)
+			p.cond.Broadcast()
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, env)
+}
+
+// maybeCTS sends clear-to-send for a matched rendezvous envelope.
+func (r *Rank) maybeCTS(env *envelope) {
+	if env.arrived || env.ready == nil {
+		return
+	}
+	// Send CTS from a helper process (we may be in kernel context).
+	peer := env.rdvFrom
+	seq := env.rdvSeq
+	r.job.k.Spawn(fmt.Sprintf("mpi-cts-%d->%d", r.id, peer), func(ctx *sim.Ctx) {
+		conn := r.conns[peer]
+		if conn == nil {
+			return
+		}
+		conn.WriteMsg(ctx, envelopeSize, wireMsg{kind: kindCTS, src: r.id, seq: seq})
+	})
+}
+
+// completeRdv attaches arrived rendezvous data to its envelope.
+func (r *Rank) completeRdv(m wireMsg) {
+	// The envelope is either in unexpected or already matched by a
+	// posted recv; find by (src, seq).
+	if env := r.findRdv(m.src, m.seq); env != nil {
+		env.data = m.data
+		env.arrived = true
+		if env.ready != nil {
+			env.ready.Broadcast()
+		}
+		return
+	}
+	panic(fmt.Sprintf("mpi: rank %d got rendezvous data with no envelope (src=%d seq=%d)", r.id, m.src, m.seq))
+}
+
+func (r *Rank) findRdv(src int, seq uint64) *envelope {
+	for _, e := range r.unexpected {
+		if e.src == src && e.rdvSeq == seq && e.ready != nil && !e.arrived {
+			return e
+		}
+	}
+	for _, p := range r.posted {
+		if p.env != nil && p.env.src == src && p.env.rdvSeq == seq {
+			return p.env
+		}
+	}
+	// Matched envelopes held by blocked Recv calls.
+	for _, e := range r.matchedRdv {
+		if e.src == src && e.rdvSeq == seq && !e.arrived {
+			return e
+		}
+	}
+	return nil
+}
+
+func (p *postedRecv) matches(env *envelope) bool {
+	if env.matched {
+		return false
+	}
+	if p.ctx != env.ctx {
+		return false
+	}
+	if p.src != AnySource && p.src != env.src {
+		return false
+	}
+	if p.tag != AnyTag && p.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// Send transmits n bytes with data attached to (dest, tag) on comm,
+// blocking until the message is handed to the transport (standard-mode
+// semantics: buffered locally or matched remotely).
+func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, data any) error {
+	if n < 0 {
+		return fmt.Errorf("mpi: negative message size %d", n)
+	}
+	gdest, err := comm.globalRank(dest)
+	if err != nil {
+		return err
+	}
+	if gdest == r.id {
+		// Self-send: deliver directly.
+		r.sent++
+		r.received++
+		r.deliver(&envelope{src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data, arrived: true})
+		return nil
+	}
+	conn := r.conns[gdest]
+	if conn == nil {
+		return fmt.Errorf("mpi: rank %d has no connection to %d", r.id, gdest)
+	}
+	r.sent++
+	if n <= r.job.opts.EagerThreshold {
+		return conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
+			kind: kindEager, src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data,
+		})
+	}
+	// Rendezvous: RTS, wait for CTS, then bulk data.
+	r.nextRdvSeq++
+	seq := r.nextRdvSeq
+	pend := &rdvSend{peer: gdest, cond: sim.NewCond(r.job.k)}
+	r.rdvPending[seq] = pend
+	if err := conn.WriteMsg(ctx, envelopeSize, wireMsg{
+		kind: kindRTS, src: r.id, ctx: comm.ctxID, tag: tag, size: n, seq: seq,
+	}); err != nil {
+		delete(r.rdvPending, seq)
+		return err
+	}
+	for !pend.cts && pend.err == nil {
+		pend.cond.Wait(ctx)
+	}
+	delete(r.rdvPending, seq)
+	if pend.err != nil {
+		return pend.err
+	}
+	return conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
+		kind: kindRdvData, src: r.id, size: n, data: data, seq: seq,
+	})
+}
+
+// Recv blocks until a message matching (src, tag) on comm arrives and
+// returns it. src may be AnySource and tag AnyTag.
+func (r *Rank) Recv(ctx *sim.Ctx, comm *Comm, src, tag int) (*Message, error) {
+	gsrc := src
+	if src != AnySource {
+		var err error
+		gsrc, err = comm.globalRank(src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	env, err := r.matchOrWait(ctx, comm.ctxID, gsrc, tag)
+	if err != nil {
+		return nil, err
+	}
+	// Rendezvous: data may still be in flight.
+	if !env.arrived {
+		r.matchedRdv = append(r.matchedRdv, env)
+		for !env.arrived {
+			env.ready.Wait(ctx)
+		}
+		r.dropMatchedRdv(env)
+	}
+	return &Message{
+		Src:  comm.localRank(env.src),
+		Tag:  env.tag,
+		Len:  env.size,
+		Data: env.data,
+	}, nil
+}
+
+// matchOrWait finds the first matching unexpected envelope or posts a
+// receive and blocks. It fails fast when the awaited peer's
+// connection has shut down.
+func (r *Rank) matchOrWait(ctx *sim.Ctx, ctxID, gsrc, tag int) (*envelope, error) {
+	for i, e := range r.unexpected {
+		p := postedRecv{src: gsrc, ctx: ctxID, tag: tag}
+		if p.matches(e) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			e.matched = true
+			r.maybeCTS(e)
+			return e, nil
+		}
+	}
+	if gsrc != AnySource && gsrc != r.id && r.deadPeers[gsrc] {
+		return nil, ErrRankFinished
+	}
+	p := &postedRecv{src: gsrc, ctx: ctxID, tag: tag, cond: sim.NewCond(r.job.k)}
+	r.posted = append(r.posted, p)
+	for p.env == nil && p.err == nil {
+		p.cond.Wait(ctx)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.env, nil
+}
+
+func (r *Rank) dropMatchedRdv(env *envelope) {
+	for i, e := range r.matchedRdv {
+		if e == env {
+			r.matchedRdv = append(r.matchedRdv[:i], r.matchedRdv[i+1:]...)
+			return
+		}
+	}
+}
+
+// Probe reports whether a matching message is available without
+// receiving it.
+func (r *Rank) Probe(comm *Comm, src, tag int) bool {
+	gsrc := src
+	if src != AnySource {
+		var err error
+		gsrc, err = comm.globalRank(src)
+		if err != nil {
+			return false
+		}
+	}
+	p := postedRecv{src: gsrc, ctx: comm.ctxID, tag: tag}
+	for _, e := range r.unexpected {
+		if p.matches(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// SendRecv performs a blocking exchange: send to dest then receive
+// from src (issued concurrently to avoid deadlock on symmetric
+// exchanges).
+func (r *Rank) SendRecv(ctx *sim.Ctx, comm *Comm, dest, sendTag int, n units.ByteSize, data any, src, recvTag int) (*Message, error) {
+	req, err := r.Isend(ctx, comm, dest, sendTag, n, data)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := r.Recv(ctx, comm, src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/units"
+)
+
+// twoSiteJob builds a 2-site topology: siteSize ranks on hosts behind
+// switch A, siteSize behind switch B, with a constrained wide link
+// between the switches. Returns the job and the wide link.
+func twoSiteJob(siteSize int, wanRate units.BitRate) (*sim.Kernel, *Job, *netsim.Link) {
+	k := sim.New(1)
+	net := netsim.New(k)
+	swA := net.AddNode("swA")
+	swB := net.AddNode("swB")
+	wan := net.Connect(swA, swB, wanRate, 5*time.Millisecond)
+	hosts := make([]*Host, 0, 2*siteSize)
+	for i := 0; i < siteSize; i++ {
+		nd := net.AddNode("a" + itoa(i))
+		net.Connect(nd, swA, 1000*units.Mbps, 50*time.Microsecond)
+		hosts = append(hosts, NewHost(nd, tcpsim.DefaultOptions()))
+	}
+	for i := 0; i < siteSize; i++ {
+		nd := net.AddNode("b" + itoa(i))
+		net.Connect(nd, swB, 1000*units.Mbps, 50*time.Microsecond)
+		hosts = append(hosts, NewHost(nd, tcpsim.DefaultOptions()))
+	}
+	net.ComputeRoutes()
+	return k, NewJob(k, hosts, JobOptions{}), wan
+}
+
+// siteMap returns the site assignment for a two-site job.
+func siteMap(siteSize int) []int {
+	m := make([]int, 2*siteSize)
+	for i := range m {
+		m[i] = i / siteSize
+	}
+	return m
+}
+
+func TestTopoBcastCorrect(t *testing.T) {
+	const siteSize = 3
+	k, j, _ := twoSiteJob(siteSize, 100*units.Mbps)
+	var got [2 * siteSize]any
+	j.Start(func(ctx *sim.Ctx, r *Rank) {
+		topo, err := r.NewTopo(ctx, r.World(), siteMap(siteSize))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var data any
+		if r.ID() == 4 { // a non-leader root in site 1
+			data = "payload"
+		}
+		out, err := r.TopoBcast(ctx, topo, 4, 50*units.KB, data)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got[r.ID()] = out
+	})
+	if err := k.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != "payload" {
+			t.Fatalf("rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestTopoReduceCorrect(t *testing.T) {
+	const siteSize = 3
+	k, j, _ := twoSiteJob(siteSize, 100*units.Mbps)
+	var result []float64
+	j.Start(func(ctx *sim.Ctx, r *Rank) {
+		topo, err := r.NewTopo(ctx, r.World(), siteMap(siteSize))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := r.TopoReduce(ctx, topo, 5, []float64{float64(r.ID() + 1)}, OpSum)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r.ID() == 5 {
+			result = out
+		}
+	})
+	if err := k.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Sum 1..6 = 21.
+	if len(result) != 1 || result[0] != 21 {
+		t.Fatalf("reduce = %v, want [21]", result)
+	}
+}
+
+func TestTopoAllreduceAndBarrier(t *testing.T) {
+	const siteSize = 2
+	k, j, _ := twoSiteJob(siteSize, 100*units.Mbps)
+	var sums [2 * siteSize]float64
+	done := 0
+	j.Start(func(ctx *sim.Ctx, r *Rank) {
+		topo, err := r.NewTopo(ctx, r.World(), siteMap(siteSize))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := r.TopoAllreduce(ctx, topo, []float64{float64(r.ID())}, OpMax)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sums[r.ID()] = out[0]
+		if err := r.TopoBarrier(ctx, topo); err != nil {
+			t.Error(err)
+			return
+		}
+		done++
+	})
+	if err := k.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sums {
+		if v != 3 {
+			t.Fatalf("rank %d allreduce = %v, want 3", i, v)
+		}
+	}
+	if done != 2*siteSize {
+		t.Fatalf("barrier done = %d", done)
+	}
+}
+
+// interleavedJob places even ranks at site A and odd ranks at site B
+// — the layout where a site-oblivious binomial tree crosses the wide
+// area repeatedly.
+func interleavedJob(n int, wanRate units.BitRate) (*sim.Kernel, *Job, *netsim.Link, []int) {
+	k := sim.New(1)
+	net := netsim.New(k)
+	swA := net.AddNode("swA")
+	swB := net.AddNode("swB")
+	wan := net.Connect(swA, swB, wanRate, 5*time.Millisecond)
+	hosts := make([]*Host, n)
+	site := make([]int, n)
+	for i := 0; i < n; i++ {
+		sw := swA
+		site[i] = i % 2
+		if site[i] == 1 {
+			sw = swB
+		}
+		nd := net.AddNode("h" + itoa(i))
+		net.Connect(nd, sw, 1000*units.Mbps, 50*time.Microsecond)
+		hosts[i] = NewHost(nd, tcpsim.DefaultOptions())
+	}
+	net.ComputeRoutes()
+	return k, NewJob(k, hosts, JobOptions{}), wan, site
+}
+
+func TestTopoBcastCrossesWideLinkOnce(t *testing.T) {
+	// With interleaved placement, the payload must traverse the wide
+	// link exactly once per topology-aware broadcast (2 sites),
+	// versus several crossings for the site-oblivious binomial tree.
+	const n = 8
+	const payload = 100 * units.KB
+	wideBytes := func(topoAware bool) int64 {
+		k, j, wan, site := interleavedJob(n, 100*units.Mbps)
+		j.Start(func(ctx *sim.Ctx, r *Rank) {
+			if topoAware {
+				topo, err := r.NewTopo(ctx, r.World(), site)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.TopoBcast(ctx, topo, 0, payload, "x"); err != nil {
+					t.Error(err)
+				}
+			} else {
+				if _, err := r.Bcast(ctx, r.World(), 0, payload, "x"); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		if err := k.RunUntil(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return wan.A().Stats().TxBytes + wan.B().Stats().TxBytes
+	}
+	flat := wideBytes(false)
+	aware := wideBytes(true)
+	if aware > int64(payload)*3/2 {
+		t.Fatalf("topology-aware bcast moved %d wide bytes, want ~one payload (%d)", aware, payload)
+	}
+	if flat < 2*int64(payload) {
+		t.Fatalf("flat bcast moved %d wide bytes, expected multiple payload crossings", flat)
+	}
+}

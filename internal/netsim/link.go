@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// IngressFilter processes a packet arriving at an interface before the
+// node sees it. Filters run in registration order; returning nil drops
+// the packet. A filter may modify the packet (e.g. remark its DSCP).
+// DiffServ classifiers and token-bucket policers are ingress filters.
+type IngressFilter interface {
+	Filter(p *Packet) *Packet
+}
+
+// IngressFilterFunc adapts a function to the IngressFilter interface.
+type IngressFilterFunc func(p *Packet) *Packet
+
+// Filter calls f(p).
+func (f IngressFilterFunc) Filter(p *Packet) *Packet { return f(p) }
+
+// Iface is one end of a link. Each interface owns an egress queue and
+// a transmitter that serializes one packet at a time at the link rate.
+type Iface struct {
+	node  *Node
+	link  *Link
+	side  int // 0 = link.a, 1 = link.b
+	queue Queue
+
+	ingress      []IngressFilter
+	transmitting bool
+
+	// OnEgressDrop, if non-nil, is called when the egress queue
+	// rejects a packet.
+	OnEgressDrop func(p *Packet)
+	// OnIngressDrop, if non-nil, is called when an ingress filter
+	// drops a packet.
+	OnIngressDrop func(p *Packet)
+
+	txPackets    uint64
+	txBytes      int64
+	egressDrops  uint64
+	ingressDrops uint64
+}
+
+// Node returns the node the interface belongs to.
+func (i *Iface) Node() *Node { return i.node }
+
+// Link returns the link the interface is attached to.
+func (i *Iface) Link() *Link { return i.link }
+
+// Queue returns the egress queue.
+func (i *Iface) Queue() Queue { return i.queue }
+
+// SetQueue replaces the egress queue. The existing queue must be empty
+// (swap queues at configuration time, not mid-flight).
+func (i *Iface) SetQueue(q Queue) {
+	if i.queue != nil && i.queue.Len() > 0 {
+		panic("netsim: SetQueue with packets in flight")
+	}
+	i.queue = q
+}
+
+// AddIngress appends an ingress filter.
+func (i *Iface) AddIngress(f IngressFilter) { i.ingress = append(i.ingress, f) }
+
+// ClearIngress removes all ingress filters.
+func (i *Iface) ClearIngress() { i.ingress = nil }
+
+// peer returns the interface at the other end of the link.
+func (i *Iface) peer() *Iface {
+	if i.link == nil {
+		return nil
+	}
+	if i.side == 0 {
+		return i.link.b
+	}
+	return i.link.a
+}
+
+// Peer returns the interface at the other end of the link.
+func (i *Iface) Peer() *Iface { return i.peer() }
+
+// String identifies the interface for diagnostics.
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s[%s]", i.node.name, i.link.name)
+}
+
+// enqueue places p on the egress queue and kicks the transmitter.
+func (i *Iface) enqueue(p *Packet) bool {
+	if !i.queue.Enqueue(p) {
+		i.egressDrops++
+		if i.OnEgressDrop != nil {
+			i.OnEgressDrop(p)
+		}
+		return false
+	}
+	i.tryTransmit()
+	return true
+}
+
+func (i *Iface) tryTransmit() {
+	if i.transmitting {
+		return
+	}
+	p := i.queue.Dequeue()
+	if p == nil {
+		return
+	}
+	if i.link.down {
+		// Discard and keep draining: a dead link blackholes traffic.
+		i.link.downDrops++
+		i.tryTransmit()
+		return
+	}
+	i.transmitting = true
+	k := i.node.net.k
+	txTime := i.link.rate.TimeToSend(p.Size)
+	k.AfterPrio(txTime, sim.PrioNet, func() {
+		i.transmitting = false
+		i.txPackets++
+		i.txBytes += int64(p.Size)
+		peer := i.peer()
+		k.AfterPrio(i.link.delay, sim.PrioNet, func() {
+			peer.arrive(p)
+		})
+		i.tryTransmit()
+	})
+}
+
+// arrive runs ingress filters and hands the packet to the node.
+func (i *Iface) arrive(p *Packet) {
+	for _, f := range i.ingress {
+		next := f.Filter(p)
+		if next == nil {
+			i.ingressDrops++
+			if i.OnIngressDrop != nil {
+				i.OnIngressDrop(p)
+			}
+			return
+		}
+		p = next
+	}
+	i.node.receive(i, p)
+}
+
+// Stats returns cumulative interface counters.
+func (i *Iface) Stats() IfaceStats {
+	return IfaceStats{
+		TxPackets:    i.txPackets,
+		TxBytes:      i.txBytes,
+		EgressDrops:  i.egressDrops,
+		IngressDrops: i.ingressDrops,
+		QueueLen:     i.queue.Len(),
+	}
+}
+
+// IfaceStats holds cumulative per-interface counters.
+type IfaceStats struct {
+	TxPackets    uint64
+	TxBytes      int64
+	EgressDrops  uint64
+	IngressDrops uint64
+	QueueLen     int
+}
+
+// Link is a full-duplex point-to-point link with symmetric rate and
+// one-way propagation delay.
+type Link struct {
+	net   *Network
+	name  string
+	a, b  *Iface
+	rate  units.BitRate
+	delay time.Duration
+	down  bool
+
+	downDrops uint64
+}
+
+// SetUp brings the link up or down. While down, packets are discarded
+// at transmission time (both directions); bringing the link back up
+// resumes service of whatever is still queued. Routing is static, so
+// traffic does not fail over — the failure is visible to transports
+// as loss, as on a real unprotected circuit.
+func (l *Link) SetUp(up bool) {
+	if l.down != up {
+		return // no change
+	}
+	l.down = !up
+	if up {
+		l.a.tryTransmit()
+		l.b.tryTransmit()
+	}
+}
+
+// Up reports whether the link is in service.
+func (l *Link) Up() bool { return !l.down }
+
+// DownDrops returns packets discarded while the link was down.
+func (l *Link) DownDrops() uint64 { return l.downDrops }
+
+// Name returns the link name ("n1-n2").
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the link bandwidth.
+func (l *Link) Rate() units.BitRate { return l.rate }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// A returns the interface on the first-named node.
+func (l *Link) A() *Iface { return l.a }
+
+// B returns the interface on the second-named node.
+func (l *Link) B() *Iface { return l.b }
+
+// IfaceOn returns the link's interface on node nd, or nil if the link
+// does not touch nd.
+func (l *Link) IfaceOn(nd *Node) *Iface {
+	switch nd {
+	case l.a.node:
+		return l.a
+	case l.b.node:
+		return l.b
+	default:
+		return nil
+	}
+}
+
+// DefaultQueueCap is the egress buffer size given to new interfaces:
+// roughly 64 full-size (1500 B) packets, typical of the era's router
+// line cards.
+const DefaultQueueCap = 96 * units.KB
+
+// Connect joins two nodes with a full-duplex link of the given rate
+// and one-way delay. Both interfaces get fresh drop-tail queues of
+// DefaultQueueCap.
+func (n *Network) Connect(n1, n2 *Node, rate units.BitRate, delay time.Duration) *Link {
+	if n1 == n2 {
+		panic("netsim: cannot connect a node to itself")
+	}
+	l := &Link{
+		net:   n,
+		name:  n1.name + "-" + n2.name,
+		rate:  rate,
+		delay: delay,
+	}
+	l.a = &Iface{node: n1, link: l, side: 0, queue: NewDropTail(DefaultQueueCap)}
+	l.b = &Iface{node: n2, link: l, side: 1, queue: NewDropTail(DefaultQueueCap)}
+	n1.ifaces = append(n1.ifaces, l.a)
+	n2.ifaces = append(n2.ifaces, l.b)
+	n.links = append(n.links, l)
+	return l
+}

@@ -1,0 +1,178 @@
+// Package netsim is a packet-level network simulator: hosts and routers
+// joined by point-to-point links with finite bandwidth, propagation
+// delay, and finite queues.
+//
+// It deliberately models the pieces of an IP network that matter for
+// the MPICH-GQ experiments: per-packet serialization at link rate,
+// drop-tail queueing, static shortest-path routing, and pluggable
+// per-interface ingress filters and egress queues. Differentiated
+// Services behaviour (classification, token-bucket policing, priority
+// queueing) plugs in through those two extension points; see package
+// diffserv.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Addr identifies a node. Addresses are assigned sequentially starting
+// at 1 as nodes are added to a Network.
+type Addr uint32
+
+// Port identifies a transport endpoint within a node.
+type Port uint16
+
+// Proto is a transport protocol number.
+type Proto uint8
+
+// Transport protocol numbers (matching IP protocol numbers for
+// familiarity).
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// DSCP is the Differentiated Services code point carried in a packet
+// header.
+type DSCP uint8
+
+// Code points used by the reproduction.
+const (
+	// DSCPBestEffort is the default (no QoS) code point.
+	DSCPBestEffort DSCP = 0
+	// DSCPEF is Expedited Forwarding: packets in the expedited queue
+	// are sent before any others (RFC 2598).
+	DSCPEF DSCP = 46
+)
+
+func (d DSCP) String() string {
+	switch d {
+	case DSCPBestEffort:
+		return "BE"
+	case DSCPEF:
+		return "EF"
+	default:
+		return fmt.Sprintf("dscp(%d)", uint8(d))
+	}
+}
+
+// Header overheads added by transports to on-wire packet sizes.
+const (
+	// IPHeader is the IPv4 header size without options.
+	IPHeader = 20 * units.Byte
+	// TCPHeader is the TCP header size without options.
+	TCPHeader = 20 * units.Byte
+	// UDPHeader is the UDP header size.
+	UDPHeader = 8 * units.Byte
+)
+
+// Packet is a simulated IP packet.
+type Packet struct {
+	ID      uint64
+	Src     Addr
+	Dst     Addr
+	SrcPort Port
+	DstPort Port
+	Proto   Proto
+	DSCP    DSCP
+	// Size is the on-wire size including transport and IP headers.
+	Size units.ByteSize
+	// PayloadLen is the transport payload length in bytes.
+	PayloadLen units.ByteSize
+	// Payload carries transport-specific data (e.g. a TCP segment).
+	Payload any
+	// SentAt is the time the packet entered the network, for delay
+	// accounting.
+	SentAt time.Duration
+}
+
+// FlowKey identifies a unidirectional transport flow (the classic
+// 5-tuple).
+type FlowKey struct {
+	Src     Addr
+	Dst     Addr
+	SrcPort Port
+	DstPort Port
+	Proto   Proto
+}
+
+// Key returns the packet's flow 5-tuple.
+func (p *Packet) Key() FlowKey {
+	return FlowKey{Src: p.Src, Dst: p.Dst, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%v %d:%d->%d:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Network is a collection of nodes and links sharing one simulation
+// kernel.
+type Network struct {
+	k        *sim.Kernel
+	nodes    []*Node
+	byName   map[string]*Node
+	links    []*Link
+	nextAddr Addr
+	nextPkt  uint64
+}
+
+// New returns an empty network on kernel k.
+func New(k *sim.Kernel) *Network {
+	return &Network{k: k, byName: make(map[string]*Node), nextAddr: 1}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// AddNode creates a node with the given name. Node names must be
+// unique within the network.
+func (n *Network) AddNode(name string) *Node {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
+	}
+	node := &Node{
+		net:      n,
+		name:     name,
+		addr:     n.nextAddr,
+		handlers: make(map[Proto]Handler),
+		routes:   make(map[Addr]*Iface),
+	}
+	n.nextAddr++
+	n.nodes = append(n.nodes, node)
+	n.byName[name] = node
+	return node
+}
+
+// Node returns the node with the given name, or nil.
+func (n *Network) Node(name string) *Node { return n.byName[name] }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+func (n *Network) nextPacketID() uint64 {
+	n.nextPkt++
+	return n.nextPkt
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mpichgq/internal/sim"
+)
+
+// Handler receives packets addressed to a node for one transport
+// protocol. A TCP stack or UDP demultiplexer registers itself here.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// HandlePacket calls f(p).
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Node is a host or router. Hosts originate and sink packets through
+// registered protocol handlers; routers forward packets between
+// interfaces according to the routing table.
+type Node struct {
+	net      *Network
+	name     string
+	addr     Addr
+	ifaces   []*Iface
+	routes   map[Addr]*Iface
+	handlers map[Proto]Handler
+	udp      *UDPStack
+
+	// Stats.
+	rxPackets, txPackets uint64
+	rxBytes, txBytes     int64
+	noRouteDrops         uint64
+}
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Addr returns the node's address.
+func (nd *Node) Addr() Addr { return nd.addr }
+
+// Network returns the network the node belongs to.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Ifaces returns the node's interfaces in creation order.
+func (nd *Node) Ifaces() []*Iface { return nd.ifaces }
+
+// Handle registers h as the receiver for packets of protocol proto
+// addressed to this node. Registering a second handler for the same
+// protocol panics.
+func (nd *Node) Handle(proto Proto, h Handler) {
+	if _, dup := nd.handlers[proto]; dup {
+		panic(fmt.Sprintf("netsim: node %q already has a %v handler", nd.name, proto))
+	}
+	nd.handlers[proto] = h
+}
+
+// Send originates a packet from this node. The packet's Src must be
+// the node's own address; ID and SentAt are stamped here. Send looks
+// up the route and enqueues on the egress interface. It reports false
+// if there is no route or the egress queue dropped the packet.
+func (nd *Node) Send(p *Packet) bool {
+	if p.Src != nd.addr {
+		panic(fmt.Sprintf("netsim: node %q sending packet with src %d", nd.name, p.Src))
+	}
+	p.ID = nd.net.nextPacketID()
+	p.SentAt = nd.net.k.Now()
+	return nd.forward(p)
+}
+
+// forward routes p out of this node. Used both for locally originated
+// packets and for transit traffic.
+func (nd *Node) forward(p *Packet) bool {
+	if p.Dst == nd.addr {
+		// Loopback: deliver locally without touching any link.
+		nd.net.k.AfterPrio(0, sim.PrioNet, func() { nd.receive(nil, p) })
+		return true
+	}
+	out := nd.routes[p.Dst]
+	if out == nil {
+		nd.noRouteDrops++
+		return false
+	}
+	nd.txPackets++
+	nd.txBytes += int64(p.Size)
+	return out.enqueue(p)
+}
+
+// receive is called when a packet arrives at one of the node's
+// interfaces (after the interface's ingress filters have run).
+func (nd *Node) receive(in *Iface, p *Packet) {
+	if p.Dst == nd.addr {
+		nd.rxPackets++
+		nd.rxBytes += int64(p.Size)
+		if h := nd.handlers[p.Proto]; h != nil {
+			h.HandlePacket(p)
+		}
+		return
+	}
+	nd.forward(p)
+}
+
+// SetRoute installs iface as the next hop toward dst. The interface
+// must belong to this node.
+func (nd *Node) SetRoute(dst Addr, out *Iface) {
+	if out.node != nd {
+		panic(fmt.Sprintf("netsim: route on node %q via foreign interface", nd.name))
+	}
+	nd.routes[dst] = out
+}
+
+// RouteTo returns the next-hop interface for dst, or nil.
+func (nd *Node) RouteTo(dst Addr) *Iface { return nd.routes[dst] }
+
+// Stats returns cumulative node-level counters.
+func (nd *Node) Stats() NodeStats {
+	return NodeStats{
+		RxPackets:    nd.rxPackets,
+		TxPackets:    nd.txPackets,
+		RxBytes:      nd.rxBytes,
+		TxBytes:      nd.txBytes,
+		NoRouteDrops: nd.noRouteDrops,
+	}
+}
+
+// NodeStats holds cumulative per-node counters.
+type NodeStats struct {
+	RxPackets    uint64
+	TxPackets    uint64
+	RxBytes      int64
+	TxBytes      int64
+	NoRouteDrops uint64
+}
+
+// ComputeRoutes fills every node's routing table with shortest-path
+// (hop count) next hops via breadth-first search from each
+// destination. Call after the topology is complete; safe to call again
+// after changes.
+func (n *Network) ComputeRoutes() {
+	for _, dst := range n.nodes {
+		// BFS outward from dst; for each reached node, record the
+		// interface pointing one hop back toward dst.
+		visited := map[*Node]bool{dst: true}
+		queue := []*Node{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, iface := range cur.ifaces {
+				peer := iface.peer()
+				if peer == nil || visited[peer.node] {
+					continue
+				}
+				visited[peer.node] = true
+				peer.node.routes[dst.addr] = peer
+				queue = append(queue, peer.node)
+			}
+		}
+	}
+}

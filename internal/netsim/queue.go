@@ -1,0 +1,67 @@
+package netsim
+
+import "mpichgq/internal/units"
+
+// Queue is an egress packet queue. Implementations decide admission
+// (Enqueue may drop) and service order (Dequeue). The interface's
+// transmitter calls Dequeue whenever the link goes idle.
+type Queue interface {
+	// Enqueue offers a packet; it reports false if the packet was
+	// dropped (e.g. buffer full).
+	Enqueue(p *Packet) bool
+	// Dequeue removes and returns the next packet to transmit, or nil
+	// if the queue is empty.
+	Dequeue() *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the total queued bytes.
+	Bytes() units.ByteSize
+}
+
+// DropTail is a FIFO queue with a byte-capacity limit; packets that
+// would overflow the buffer are dropped on arrival.
+type DropTail struct {
+	cap   units.ByteSize
+	bytes units.ByteSize
+	pkts  []*Packet
+}
+
+// NewDropTail returns a drop-tail queue holding at most capBytes of
+// packet data.
+func NewDropTail(capBytes units.ByteSize) *DropTail {
+	if capBytes <= 0 {
+		panic("netsim: non-positive queue capacity")
+	}
+	return &DropTail{cap: capBytes}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet) bool {
+	if q.bytes+p.Size > q.cap {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.Size
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.pkts) }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() units.ByteSize { return q.bytes }
+
+// Cap returns the configured byte capacity.
+func (q *DropTail) Cap() units.ByteSize { return q.cap }

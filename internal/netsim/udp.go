@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Datagram is a received UDP message.
+type Datagram struct {
+	From     Addr
+	FromPort Port
+	Len      units.ByteSize
+	DSCP     DSCP
+	Payload  any
+}
+
+// UDPStack demultiplexes UDP packets to sockets on one node.
+type UDPStack struct {
+	node     *Node
+	sockets  map[Port]*UDPSocket
+	nextPort Port
+
+	rxDrops uint64 // datagrams for ports with no socket
+}
+
+// NewUDPStack creates the UDP stack for node nd and registers it as
+// the node's UDP handler.
+func NewUDPStack(nd *Node) *UDPStack {
+	s := &UDPStack{node: nd, sockets: make(map[Port]*UDPSocket), nextPort: 30000}
+	nd.Handle(ProtoUDP, s)
+	nd.udp = s
+	return s
+}
+
+// UDPStack returns the node's UDP stack, creating and registering it
+// on first use.
+func (nd *Node) UDPStack() *UDPStack {
+	if nd.udp == nil {
+		NewUDPStack(nd)
+	}
+	return nd.udp
+}
+
+// HandlePacket implements Handler.
+func (s *UDPStack) HandlePacket(p *Packet) {
+	sock := s.sockets[p.DstPort]
+	if sock == nil || sock.closed {
+		s.rxDrops++
+		return
+	}
+	sock.inbox.Send(&Datagram{
+		From:     p.Src,
+		FromPort: p.SrcPort,
+		Len:      p.PayloadLen,
+		DSCP:     p.DSCP,
+		Payload:  p.Payload,
+	})
+}
+
+// Bind opens a socket on the given port; port 0 picks an ephemeral
+// port.
+func (s *UDPStack) Bind(port Port) (*UDPSocket, error) {
+	if port == 0 {
+		for s.sockets[s.nextPort] != nil {
+			s.nextPort++
+		}
+		port = s.nextPort
+		s.nextPort++
+	} else if s.sockets[port] != nil {
+		return nil, fmt.Errorf("netsim: udp port %d on %q in use", port, s.node.name)
+	}
+	sock := &UDPSocket{
+		stack: s,
+		port:  port,
+		inbox: sim.NewMailbox(s.node.net.k),
+	}
+	s.sockets[port] = sock
+	return sock, nil
+}
+
+// Node returns the node the stack runs on.
+func (s *UDPStack) Node() *Node { return s.node }
+
+// RxDrops returns the number of datagrams dropped for lack of a bound
+// socket.
+func (s *UDPStack) RxDrops() uint64 { return s.rxDrops }
+
+// ErrClosed is returned by operations on a closed socket.
+var ErrClosed = errors.New("netsim: socket closed")
+
+// UDPSocket is a bound UDP endpoint.
+type UDPSocket struct {
+	stack  *UDPStack
+	port   Port
+	inbox  *sim.Mailbox
+	dscp   DSCP
+	closed bool
+
+	txDatagrams uint64
+	txBytes     int64
+}
+
+// Port returns the bound local port.
+func (u *UDPSocket) Port() Port { return u.port }
+
+// SetDSCP sets the DS code point stamped on outgoing datagrams.
+// (Applications normally leave this at best-effort and let the edge
+// router classify and mark; setting it directly models a
+// "pre-marking" host.)
+func (u *UDPSocket) SetDSCP(d DSCP) { u.dscp = d }
+
+// SendTo transmits a datagram of payloadLen bytes to (dst, dstPort).
+// It reports false if the datagram was dropped before leaving the
+// node (no route, or local egress queue full) — like real UDP, later
+// drops are silent. payload rides along for the receiver and may be
+// nil.
+func (u *UDPSocket) SendTo(dst Addr, dstPort Port, payloadLen units.ByteSize, payload any) (bool, error) {
+	if u.closed {
+		return false, ErrClosed
+	}
+	if payloadLen < 0 {
+		return false, fmt.Errorf("netsim: negative datagram length %d", payloadLen)
+	}
+	p := &Packet{
+		Src:        u.stack.node.addr,
+		Dst:        dst,
+		SrcPort:    u.port,
+		DstPort:    dstPort,
+		Proto:      ProtoUDP,
+		DSCP:       u.dscp,
+		Size:       payloadLen + UDPHeader + IPHeader,
+		PayloadLen: payloadLen,
+		Payload:    payload,
+	}
+	ok := u.stack.node.Send(p)
+	if ok {
+		u.txDatagrams++
+		u.txBytes += int64(payloadLen)
+	}
+	return ok, nil
+}
+
+// Recv blocks until a datagram arrives or the socket is closed.
+func (u *UDPSocket) Recv(ctx *sim.Ctx) (*Datagram, error) {
+	v, ok := u.inbox.Recv(ctx)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return v.(*Datagram), nil
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (u *UDPSocket) TryRecv() (*Datagram, bool) {
+	v, ok := u.inbox.TryRecv()
+	if !ok {
+		return nil, false
+	}
+	return v.(*Datagram), true
+}
+
+// Pending returns the number of queued datagrams.
+func (u *UDPSocket) Pending() int { return u.inbox.Len() }
+
+// Close releases the port and wakes blocked receivers.
+func (u *UDPSocket) Close() {
+	if u.closed {
+		return
+	}
+	u.closed = true
+	delete(u.stack.sockets, u.port)
+	u.inbox.Close()
+}
+
+// TxStats returns the count and total payload bytes of datagrams
+// accepted by the local node.
+func (u *UDPSocket) TxStats() (datagrams uint64, bytes int64) {
+	return u.txDatagrams, u.txBytes
+}

@@ -1,0 +1,224 @@
+// Package nws provides Network Weather Service-style monitoring and
+// forecasting (Wolski, HPDC'97 — the paper's reference [35]). §5.4
+// suggests computing "the 'correct' token bucket size dynamically, by
+// using application-specific information and perhaps also dynamic
+// network performance data [35]"; this package supplies that data.
+//
+// Following NWS's design, a Forecaster runs a battery of simple
+// predictors (last value, sliding means, sliding medians) over a
+// measurement series and answers each query with the prediction of
+// whichever predictor has the lowest cumulative error so far.
+package nws
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/units"
+)
+
+// predictor is one forecasting strategy over the sample history.
+type predictor interface {
+	name() string
+	predict(history []float64) float64
+}
+
+type lastValue struct{}
+
+func (lastValue) name() string { return "last" }
+func (lastValue) predict(h []float64) float64 {
+	return h[len(h)-1]
+}
+
+type slidingMean struct{ w int }
+
+func (p slidingMean) name() string { return fmt.Sprintf("mean%d", p.w) }
+func (p slidingMean) predict(h []float64) float64 {
+	start := len(h) - p.w
+	if start < 0 {
+		start = 0
+	}
+	sum := 0.0
+	for _, v := range h[start:] {
+		sum += v
+	}
+	return sum / float64(len(h)-start)
+}
+
+type slidingMedian struct{ w int }
+
+func (p slidingMedian) name() string { return fmt.Sprintf("median%d", p.w) }
+func (p slidingMedian) predict(h []float64) float64 {
+	start := len(h) - p.w
+	if start < 0 {
+		start = 0
+	}
+	win := append([]float64(nil), h[start:]...)
+	sort.Float64s(win)
+	n := len(win)
+	if n%2 == 1 {
+		return win[n/2]
+	}
+	return (win[n/2-1] + win[n/2]) / 2
+}
+
+// Forecaster runs the predictor battery over one measurement series.
+type Forecaster struct {
+	history    []float64
+	maxHistory int
+	predictors []predictor
+	// errs[i] is predictor i's cumulative absolute error; pending[i]
+	// its outstanding prediction awaiting the next sample.
+	errs    []float64
+	pending []float64
+	primed  bool
+}
+
+// NewForecaster returns a forecaster with the standard NWS battery.
+func NewForecaster() *Forecaster {
+	ps := []predictor{
+		lastValue{},
+		slidingMean{w: 5}, slidingMean{w: 20},
+		slidingMedian{w: 5}, slidingMedian{w: 20},
+	}
+	return &Forecaster{
+		maxHistory: 128,
+		predictors: ps,
+		errs:       make([]float64, len(ps)),
+		pending:    make([]float64, len(ps)),
+	}
+}
+
+// Add feeds one measurement: pending predictions are scored against
+// it, then fresh predictions are formed.
+func (f *Forecaster) Add(v float64) {
+	if f.primed {
+		for i := range f.predictors {
+			d := f.pending[i] - v
+			if d < 0 {
+				d = -d
+			}
+			f.errs[i] += d
+		}
+	}
+	f.history = append(f.history, v)
+	if len(f.history) > f.maxHistory {
+		f.history = f.history[len(f.history)-f.maxHistory:]
+	}
+	for i, p := range f.predictors {
+		f.pending[i] = p.predict(f.history)
+	}
+	f.primed = true
+}
+
+// Len returns the number of samples seen.
+func (f *Forecaster) Len() int { return len(f.history) }
+
+// best returns the index of the lowest-error predictor.
+func (f *Forecaster) best() int {
+	bi := 0
+	for i, e := range f.errs {
+		if e < f.errs[bi] {
+			bi = i
+		}
+		_ = i
+	}
+	return bi
+}
+
+// Forecast returns the current prediction of the best predictor (0 if
+// no samples).
+func (f *Forecaster) Forecast() float64 {
+	if len(f.history) == 0 {
+		return 0
+	}
+	return f.pending[f.best()]
+}
+
+// Best names the currently winning predictor.
+func (f *Forecaster) Best() string {
+	return f.predictors[f.best()].name()
+}
+
+// Monitor passively samples a TCP connection's achieved throughput
+// (acked bytes per interval), smoothed RTT, and loss (retransmits per
+// interval), feeding per-metric forecasters.
+type Monitor struct {
+	k        *sim.Kernel
+	conn     *tcpsim.Conn
+	interval time.Duration
+
+	Throughput *Forecaster // Kb/s
+	RTT        *Forecaster // seconds
+	Loss       *Forecaster // retransmitted segments per interval
+
+	lastAcked int64
+	lastRetx  uint64
+	timer     *sim.Timer
+	stopped   bool
+}
+
+// Attach starts periodic sampling of conn every interval.
+func Attach(k *sim.Kernel, conn *tcpsim.Conn, interval time.Duration) *Monitor {
+	if interval <= 0 {
+		panic("nws: non-positive sampling interval")
+	}
+	m := &Monitor{
+		k: k, conn: conn, interval: interval,
+		Throughput: NewForecaster(),
+		RTT:        NewForecaster(),
+		Loss:       NewForecaster(),
+	}
+	st := conn.Stats()
+	m.lastAcked = st.BytesAcked
+	m.lastRetx = st.Retransmits
+	m.schedule()
+	return m
+}
+
+func (m *Monitor) schedule() {
+	m.timer = m.k.After(m.interval, func() {
+		if m.stopped {
+			return
+		}
+		m.sample()
+		m.schedule()
+	})
+}
+
+func (m *Monitor) sample() {
+	st := m.conn.Stats()
+	acked := st.BytesAcked - m.lastAcked
+	m.lastAcked = st.BytesAcked
+	m.Throughput.Add(units.RateOf(units.ByteSize(acked), m.interval).Kbps())
+	if st.SRTT > 0 {
+		m.RTT.Add(st.SRTT.Seconds())
+	}
+	m.Loss.Add(float64(st.Retransmits - m.lastRetx))
+	m.lastRetx = st.Retransmits
+}
+
+// ThroughputForecast returns the predicted achievable rate.
+func (m *Monitor) ThroughputForecast() units.BitRate {
+	return units.BitRate(m.Throughput.Forecast()) * units.Kbps
+}
+
+// RTTForecast returns the predicted round-trip time.
+func (m *Monitor) RTTForecast() time.Duration {
+	return time.Duration(m.RTT.Forecast() * float64(time.Second))
+}
+
+// LossForecast returns the predicted retransmissions per interval.
+func (m *Monitor) LossForecast() float64 { return m.Loss.Forecast() }
+
+// Stop ends sampling.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	if m.timer != nil {
+		m.timer.Cancel()
+		m.timer = nil
+	}
+}

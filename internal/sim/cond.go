@@ -1,0 +1,220 @@
+package sim
+
+import "time"
+
+// Cond is a condition-variable-like primitive for processes. Waiters
+// are woken in FIFO order. Signal and Broadcast may be called from
+// event callbacks or from other processes; wakeups are delivered as
+// events at the current instant, preserving the single-runner
+// invariant.
+//
+// As with sync.Cond, a woken process should re-check its predicate:
+// state may change between the Signal and the wakeup event running.
+type Cond struct {
+	k       *Kernel
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p        *Proc
+	woken    bool
+	timedOut bool
+}
+
+// NewCond returns a Cond bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks the calling process until Signal or Broadcast wakes it.
+func (c *Cond) Wait(ctx *Ctx) {
+	ctx.checkCtx()
+	w := &condWaiter{p: ctx.p}
+	c.waiters = append(c.waiters, w)
+	ctx.p.park()
+}
+
+// WaitTimeout blocks the calling process until woken or until d
+// elapses. It reports true if woken by Signal/Broadcast and false on
+// timeout.
+func (c *Cond) WaitTimeout(ctx *Ctx, d time.Duration) bool {
+	ctx.checkCtx()
+	if d <= 0 {
+		return false
+	}
+	w := &condWaiter{p: ctx.p}
+	c.waiters = append(c.waiters, w)
+	timer := c.k.After(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		w.timedOut = true
+		c.remove(w)
+		c.k.step(w.p)
+	})
+	ctx.p.park()
+	timer.Cancel()
+	return !w.timedOut
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether
+// a waiter was woken.
+func (c *Cond) Signal() bool {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		c.k.At(c.k.now, PrioNormal, func() { c.k.step(w.p) })
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	for c.Signal() {
+	}
+}
+
+// Waiting returns the number of processes currently blocked on c.
+func (c *Cond) Waiting() int {
+	n := 0
+	for _, w := range c.waiters {
+		if !w.woken {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Mutex is a mutual-exclusion lock for processes. Lock blocks the
+// calling process until the lock is free; waiters acquire in FIFO
+// order. Unlock may be called from any context.
+type Mutex struct {
+	held bool
+	cond *Cond
+}
+
+// NewMutex returns an unlocked mutex on kernel k.
+func NewMutex(k *Kernel) *Mutex { return &Mutex{cond: NewCond(k)} }
+
+// Lock blocks until the mutex is acquired.
+func (m *Mutex) Lock(ctx *Ctx) {
+	for m.held {
+		m.cond.Wait(ctx)
+	}
+	m.held = true
+}
+
+// Unlock releases the mutex and wakes one waiter. Unlocking an
+// unlocked mutex panics.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: Unlock of unlocked Mutex")
+	}
+	m.held = false
+	m.cond.Signal()
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.held }
+
+// Mailbox is an unbounded FIFO queue with blocking receive, the
+// simulation analogue of a channel. Any number of processes may block
+// in Recv; items are handed out in arrival order to waiters in FIFO
+// order. Send never blocks and may be called from event callbacks.
+type Mailbox struct {
+	k     *Kernel
+	items []any
+	cond  *Cond
+	// closed marks the mailbox as delivering no further items; Recv
+	// returns (nil, false) once drained.
+	closed bool
+}
+
+// NewMailbox returns an empty mailbox bound to kernel k.
+func NewMailbox(k *Kernel) *Mailbox {
+	return &Mailbox{k: k, cond: NewCond(k)}
+}
+
+// Send enqueues v and wakes one waiting receiver.
+func (m *Mailbox) Send(v any) {
+	if m.closed {
+		panic("sim: Send on closed Mailbox")
+	}
+	m.items = append(m.items, v)
+	m.cond.Signal()
+}
+
+// Close marks the mailbox closed. Blocked and future receivers get
+// (nil, false) once the queue drains.
+func (m *Mailbox) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Recv blocks until an item is available or the mailbox is closed and
+// drained. The second result is false only in the closed-and-drained
+// case.
+func (m *Mailbox) Recv(ctx *Ctx) (any, bool) {
+	for len(m.items) == 0 {
+		if m.closed {
+			return nil, false
+		}
+		m.cond.Wait(ctx)
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// RecvTimeout is Recv with a deadline; ok is false if the timeout
+// expired or the mailbox closed before an item arrived.
+func (m *Mailbox) RecvTimeout(ctx *Ctx, d time.Duration) (v any, ok bool) {
+	deadline := m.k.now + d
+	for len(m.items) == 0 {
+		if m.closed {
+			return nil, false
+		}
+		remain := deadline - m.k.now
+		if remain <= 0 || !m.cond.WaitTimeout(ctx, remain) {
+			if len(m.items) > 0 {
+				break
+			}
+			return nil, false
+		}
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// TryRecv returns an item if one is queued, without blocking.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Closed reports whether Close has been called.
+func (m *Mailbox) Closed() bool { return m.closed }

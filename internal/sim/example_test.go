@@ -1,0 +1,53 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/sim"
+)
+
+// Two processes exchange through a mailbox in virtual time: the whole
+// "day" of simulated work runs in microseconds of real time and is
+// perfectly reproducible.
+func Example() {
+	k := sim.New(42)
+	box := sim.NewMailbox(k)
+
+	k.Spawn("producer", func(ctx *sim.Ctx) {
+		for i := 1; i <= 3; i++ {
+			ctx.Sleep(time.Hour)
+			box.Send(fmt.Sprintf("batch %d", i))
+		}
+		box.Close()
+	})
+	k.Spawn("consumer", func(ctx *sim.Ctx) {
+		for {
+			v, ok := box.Recv(ctx)
+			if !ok {
+				return
+			}
+			fmt.Printf("t=%v: got %v\n", ctx.Now(), v)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// t=1h0m0s: got batch 1
+	// t=2h0m0s: got batch 2
+	// t=3h0m0s: got batch 3
+}
+
+// Timers schedule plain callbacks; Cancel prevents them from firing.
+func ExampleKernel_After() {
+	k := sim.New(1)
+	k.After(time.Second, func() { fmt.Println("one") })
+	doomed := k.After(2*time.Second, func() { fmt.Println("never") })
+	k.After(3*time.Second, func() { fmt.Println("three") })
+	doomed.Cancel()
+	k.Run()
+	// Output:
+	// one
+	// three
+}

@@ -1,0 +1,236 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Simulated processes run as goroutines, but the kernel admits exactly
+// one runnable goroutine at a time and orders simultaneous events by
+// (priority, insertion sequence), so every run with the same seed is
+// bit-for-bit reproducible.
+//
+// Two execution styles coexist:
+//
+//   - Event callbacks (Kernel.At / Kernel.After) run inline in the
+//     kernel's goroutine. Network elements (links, queues, routers) use
+//     these.
+//   - Processes (Kernel.Spawn) are goroutines that may block on
+//     Ctx.Sleep, Cond.Wait, or Mailbox.Recv. Applications (MPI ranks,
+//     traffic generators) use these.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event priorities. Lower values run first among events scheduled for
+// the same instant.
+const (
+	// PrioNet orders packet deliveries ahead of application timers so
+	// that data "on the wire" at time t is visible to timers at t.
+	PrioNet = -10
+	// PrioNormal is the default priority.
+	PrioNormal = 0
+	// PrioLate runs after everything else at the same instant; trace
+	// sampling uses it so samples observe a settled state.
+	PrioLate = 10
+)
+
+// An event is a scheduled callback.
+type event struct {
+	at        time.Duration
+	prio      int
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance.
+type Kernel struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+	rng   *RNG
+	procs []*Proc
+	// cur is the process currently executing, nil when the kernel
+	// itself (an event callback) is running.
+	cur     *Proc
+	stopped bool
+	err     error
+}
+
+// New returns a kernel with its clock at zero and a deterministic RNG
+// seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// RNG returns the kernel's deterministic random number generator.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ e *event }
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op. It reports
+// whether the callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.e == nil || t.e.cancelled || t.e.fn == nil {
+		return false
+	}
+	t.e.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer's callback has not yet run or been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.e != nil && !t.e.cancelled && t.e.fn != nil
+}
+
+// At schedules fn to run at absolute virtual time at with the given
+// priority. Scheduling in the past (before Now) panics: that is always
+// a logic error in a simulation.
+func (k *Kernel) At(at time.Duration, prio int, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%v now=%v)", at, k.now))
+	}
+	k.seq++
+	e := &event{at: at, prio: prio, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return &Timer{e: e}
+}
+
+// After schedules fn to run d from now at normal priority.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	return k.At(k.now+d, PrioNormal, fn)
+}
+
+// AfterPrio schedules fn to run d from now at the given priority.
+func (k *Kernel) AfterPrio(d time.Duration, prio int, fn func()) *Timer {
+	return k.At(k.now+d, prio, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending
+// events remain queued; Run may be called again to continue.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Err returns the first error captured from a panicking process.
+func (k *Kernel) Err() error { return k.err }
+
+// Run processes events until the queue is empty, Stop is called, or a
+// process panics. It returns the captured process error, if any.
+func (k *Kernel) Run() error {
+	return k.run(-1)
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances
+// the clock to exactly deadline. It returns the captured process error,
+// if any.
+func (k *Kernel) RunUntil(deadline time.Duration) error {
+	err := k.run(deadline)
+	if err == nil && k.now < deadline {
+		k.now = deadline
+	}
+	return err
+}
+
+// RunFor runs the simulation for d beyond the current time.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now + d)
+}
+
+func (k *Kernel) run(deadline time.Duration) error {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped && k.err == nil {
+		next := k.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.cancelled {
+			continue
+		}
+		if next.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = next.at
+		fn := next.fn
+		next.fn = nil // mark fired
+		fn()
+	}
+	return k.err
+}
+
+// PendingEvents returns the number of live (non-cancelled) events.
+func (k *Kernel) PendingEvents() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedProcs returns the names of processes that are blocked (waiting
+// on a Cond, Mailbox, or sleep) and not yet finished. Useful in tests
+// for detecting unintended deadlock.
+func (k *Kernel) BlockedProcs() []string {
+	var names []string
+	for _, p := range k.procs {
+		if !p.done && p.blocked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LiveProcs returns the number of spawned processes that have not
+// finished.
+func (k *Kernel) LiveProcs() int {
+	n := 0
+	for _, p := range k.procs {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,486 @@
+package tcpsim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Segment flags.
+const (
+	flagSYN = 1 << iota
+	flagACK
+	flagFIN
+	flagRST
+)
+
+// marker attaches an application object to a stream position; it is
+// delivered to the receiving application once the stream has been read
+// up to pos.
+type marker struct {
+	pos int64
+	obj any
+}
+
+// segment is the TCP payload carried inside a netsim.Packet.
+type segment struct {
+	seq     int64
+	ack     int64
+	flags   uint8
+	length  units.ByteSize
+	wnd     units.ByteSize
+	markers []marker
+}
+
+func (s *segment) String() string {
+	return fmt.Sprintf("seg{seq=%d ack=%d len=%d fl=%b}", s.seq, s.ack, s.length, s.flags)
+}
+
+type connState int
+
+const (
+	stateClosed connState = iota
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+)
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack    *Stack
+	lport    netsim.Port
+	raddr    netsim.Addr
+	rport    netsim.Port
+	state    connState
+	listener *Listener
+	err      error
+	dscp     netsim.DSCP
+
+	mss units.ByteSize
+
+	// Handshake.
+	iss, irs    int64
+	established *sim.Cond
+
+	// Sender.
+	sndUna, sndNxt int64
+	sndMax         int64 // highest sequence ever transmitted
+	sndBufEnd      int64 // stream position after the last byte the app wrote
+	sndBufCap      units.ByteSize
+	cwnd           float64 // bytes
+	ssthresh       float64 // bytes
+	rwnd           units.ByteSize
+	dupAcks        int
+	inRecovery     bool
+	recover        int64
+	rtxTimer       *sim.Timer
+	rto            time.Duration
+	srtt, rttvar   time.Duration
+	hasRTT         bool
+	rttTiming      bool
+	rttSeq         int64
+	rttStart       time.Duration
+	sndCond        *sim.Cond
+	sndMarkers     []marker
+	closeRequested bool
+	finSeq         int64 // stream position of FIN, -1 until Close
+	finAcked       bool
+	persistTimer   *sim.Timer
+	lastSend       time.Duration // last data transmission (for SSR)
+
+	// Receiver.
+	rcvNxt     int64
+	readPos    int64
+	rcvBufCap  units.ByteSize
+	ooo        []interval
+	rcvMarkers map[int64]any
+	seenMarker map[int64]bool
+	rcvCond    *sim.Cond
+	peerFin    int64 // seq of peer's FIN, -1 if none
+	eof        bool
+	delack     *sim.Timer
+	unacked    int // segments received since last ACK sent
+
+	stats ConnStats
+
+	// TraceSend, if non-nil, is called for every data segment
+	// transmission (including retransmissions); Figure 7's
+	// sequence-number traces hook in here.
+	TraceSend func(now time.Duration, seq int64, length units.ByteSize, retx bool)
+}
+
+// interval is a received out-of-order byte range [start, end).
+type interval struct {
+	start, end int64
+}
+
+// ConnStats holds cumulative counters and instantaneous congestion
+// state.
+type ConnStats struct {
+	BytesSent      int64 // payload bytes transmitted, incl. retransmits
+	BytesAcked     int64
+	BytesReceived  int64 // in-order payload bytes delivered toward the app
+	SegmentsSent   uint64
+	Retransmits    uint64
+	Timeouts       uint64
+	FastRetransmit uint64
+	DupAcksSeen    uint64
+	Cwnd           units.ByteSize
+	Ssthresh       units.ByteSize
+	SRTT           time.Duration
+	RTO            time.Duration
+}
+
+func newConn(s *Stack, lport netsim.Port, raddr netsim.Addr, rport netsim.Port) *Conn {
+	o := s.opts
+	c := &Conn{
+		stack:       s,
+		lport:       lport,
+		raddr:       raddr,
+		rport:       rport,
+		mss:         o.MSS,
+		established: sim.NewCond(s.k),
+		sndBufCap:   o.SndBuf,
+		rcvBufCap:   o.RcvBuf,
+		cwnd:        float64(o.MSS) * float64(o.InitialCwndSegs),
+		ssthresh:    1 << 30,
+		rwnd:        o.RcvBuf,
+		rto:         o.InitialRTO,
+		sndCond:     sim.NewCond(s.k),
+		rcvCond:     sim.NewCond(s.k),
+		finSeq:      -1,
+		peerFin:     -1,
+		rcvMarkers:  make(map[int64]any),
+		seenMarker:  make(map[int64]bool),
+	}
+	// Sequence space: ISS 0 on both sides; the SYN consumes seq 0 so
+	// the byte stream starts at position 1.
+	c.sndUna, c.sndNxt, c.sndBufEnd = 0, 0, 1
+	c.rcvNxt, c.readPos = 0, 1
+	return c
+}
+
+// LocalPort returns the connection's local port.
+func (c *Conn) LocalPort() netsim.Port { return c.lport }
+
+// RemoteAddr returns the peer's node address.
+func (c *Conn) RemoteAddr() netsim.Addr { return c.raddr }
+
+// RemotePort returns the peer's port.
+func (c *Conn) RemotePort() netsim.Port { return c.rport }
+
+// LocalAddr returns this endpoint's node address.
+func (c *Conn) LocalAddr() netsim.Addr { return c.stack.node.Addr() }
+
+// FlowKey returns the 5-tuple of this connection's outgoing direction.
+func (c *Conn) FlowKey() netsim.FlowKey {
+	return netsim.FlowKey{
+		Src: c.LocalAddr(), Dst: c.raddr,
+		SrcPort: c.lport, DstPort: c.rport,
+		Proto: netsim.ProtoTCP,
+	}
+}
+
+// SetDSCP sets the code point stamped on outgoing packets.
+func (c *Conn) SetDSCP(d netsim.DSCP) { c.dscp = d }
+
+// SetSndBuf resizes the send socket buffer (the §5.5 tuning knob).
+func (c *Conn) SetSndBuf(n units.ByteSize) {
+	if n < c.mss {
+		n = c.mss
+	}
+	c.sndBufCap = n
+	c.sndCond.Broadcast()
+}
+
+// SetRcvBuf resizes the receive socket buffer.
+func (c *Conn) SetRcvBuf(n units.ByteSize) {
+	if n < c.mss {
+		n = c.mss
+	}
+	c.rcvBufCap = n
+}
+
+// SndBuf returns the send buffer capacity.
+func (c *Conn) SndBuf() units.ByteSize { return c.sndBufCap }
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() ConnStats {
+	st := c.stats
+	st.Cwnd = units.ByteSize(c.cwnd)
+	st.Ssthresh = units.ByteSize(c.ssthresh)
+	st.SRTT = c.srtt
+	st.RTO = c.rto
+	return st
+}
+
+// BufferedSend returns the bytes written but not yet acknowledged.
+func (c *Conn) BufferedSend() units.ByteSize {
+	return units.ByteSize(c.sndBufEnd - maxI64(c.sndUna, 1))
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Write blocks the calling process until n bytes have been accepted
+// into the send buffer (not necessarily acknowledged). This mirrors a
+// blocking write(2) on a socket with a finite SO_SNDBUF.
+func (c *Conn) Write(ctx *sim.Ctx, n units.ByteSize) error {
+	return c.write(ctx, n, nil)
+}
+
+// WriteMsg writes n bytes and attaches obj at the end of those bytes;
+// the receiver's ReadMsg returns obj after consuming the stream up to
+// that point. This is how the MPI layer moves structured messages over
+// the byte stream.
+func (c *Conn) WriteMsg(ctx *sim.Ctx, n units.ByteSize, obj any) error {
+	if n <= 0 {
+		return fmt.Errorf("tcpsim: WriteMsg with non-positive length %d", n)
+	}
+	return c.write(ctx, n, obj)
+}
+
+func (c *Conn) write(ctx *sim.Ctx, n units.ByteSize, obj any) error {
+	if n < 0 {
+		return fmt.Errorf("tcpsim: negative write length %d", n)
+	}
+	if c.state != stateEstablished || c.closeRequested {
+		if c.err != nil {
+			return c.err
+		}
+		return ErrClosed
+	}
+	if obj != nil {
+		// Register the marker before any byte of the message can be
+		// transmitted, so the segment that carries the final byte
+		// always carries the marker too.
+		c.sndMarkers = append(c.sndMarkers, marker{pos: c.sndBufEnd + int64(n), obj: obj})
+	}
+	remaining := n
+	for remaining > 0 {
+		if c.state != stateEstablished || c.closeRequested {
+			if c.err != nil {
+				return c.err
+			}
+			return ErrClosed
+		}
+		inBuf := units.ByteSize(c.sndBufEnd - maxI64(c.sndUna, 1))
+		space := c.sndBufCap - inBuf
+		if space <= 0 {
+			c.sndCond.Wait(ctx)
+			continue
+		}
+		chunk := remaining
+		if chunk > space {
+			chunk = space
+		}
+		c.sndBufEnd += int64(chunk)
+		remaining -= chunk
+		c.trySend()
+	}
+	return nil
+}
+
+// Read blocks until at least one byte is available, then consumes up
+// to max bytes and returns the count. io.EOF signals a clean shutdown
+// by the peer.
+func (c *Conn) Read(ctx *sim.Ctx, max units.ByteSize) (units.ByteSize, error) {
+	if max <= 0 {
+		return 0, fmt.Errorf("tcpsim: non-positive read size %d", max)
+	}
+	for {
+		if avail := units.ByteSize(c.dataLimit() - c.readPos); avail > 0 {
+			n := max
+			if n > avail {
+				n = avail
+			}
+			c.consume(int64(n))
+			return n, nil
+		}
+		if c.eof {
+			return 0, io.EOF
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.state == stateClosed {
+			return 0, ErrClosed
+		}
+		c.rcvCond.Wait(ctx)
+	}
+}
+
+// ReadFull blocks until exactly n bytes have been consumed.
+func (c *Conn) ReadFull(ctx *sim.Ctx, n units.ByteSize) error {
+	for n > 0 {
+		got, err := c.Read(ctx, n)
+		if err != nil {
+			return err
+		}
+		n -= got
+	}
+	return nil
+}
+
+// ReadMsg blocks until the next marker is reached, consuming the
+// stream up to it, and returns the consumed byte count (the message
+// length) and the attached object. Data is consumed incrementally as
+// it arrives, so messages larger than the receive buffer flow through
+// without deadlock.
+func (c *Conn) ReadMsg(ctx *sim.Ctx) (units.ByteSize, any, error) {
+	var consumed units.ByteSize
+	for {
+		pos, obj, ok := c.nextMarker()
+		if ok && pos <= c.rcvNxt {
+			// Whole message available: consume through the marker.
+			consumed += units.ByteSize(pos - c.readPos)
+			c.consume(pos - c.readPos)
+			delete(c.rcvMarkers, pos)
+			return consumed, obj, nil
+		}
+		// Marker not yet reached. Everything buffered belongs to the
+		// current message (markers arrive with the segment that ends
+		// the message, and the stream is in order), so drain it to
+		// keep the window open.
+		limit := c.dataLimit()
+		if ok && pos < limit {
+			limit = pos
+		}
+		if n := limit - c.readPos; n > 0 {
+			consumed += units.ByteSize(n)
+			c.consume(n)
+			continue
+		}
+		if c.eof {
+			return consumed, nil, io.EOF
+		}
+		if c.err != nil {
+			return consumed, nil, c.err
+		}
+		if c.state == stateClosed {
+			return consumed, nil, ErrClosed
+		}
+		c.rcvCond.Wait(ctx)
+	}
+}
+
+// nextMarker returns the earliest pending marker.
+func (c *Conn) nextMarker() (int64, any, bool) {
+	best := int64(-1)
+	var obj any
+	for pos, o := range c.rcvMarkers {
+		if best == -1 || pos < best {
+			best, obj = pos, o
+		}
+	}
+	if best == -1 {
+		return 0, nil, false
+	}
+	return best, obj, true
+}
+
+// dataLimit returns the stream position after the last readable data
+// byte: rcvNxt, minus the phantom sequence slot the peer's FIN
+// consumed.
+func (c *Conn) dataLimit() int64 {
+	if c.eof {
+		return c.peerFin
+	}
+	return c.rcvNxt
+}
+
+// consume advances the app read position and sends a window update if
+// the advertised window was nearly closed.
+func (c *Conn) consume(n int64) {
+	wasSmall := c.advertisedWnd() < c.mss
+	c.readPos += n
+	if wasSmall && c.advertisedWnd() >= c.mss {
+		c.sendAck()
+	}
+}
+
+func (c *Conn) advertisedWnd() units.ByteSize {
+	used := units.ByteSize(c.rcvNxt - c.readPos)
+	if used >= c.rcvBufCap {
+		return 0
+	}
+	return c.rcvBufCap - used
+}
+
+// Buffered returns the bytes received and not yet read by the app.
+func (c *Conn) Buffered() units.ByteSize { return units.ByteSize(c.rcvNxt - c.readPos) }
+
+// Drain blocks until every written byte has been acknowledged.
+func (c *Conn) Drain(ctx *sim.Ctx) error {
+	for c.sndUna < c.sndBufEnd {
+		if c.err != nil {
+			return c.err
+		}
+		if c.state != stateEstablished {
+			return ErrClosed
+		}
+		c.sndCond.Wait(ctx)
+	}
+	return nil
+}
+
+// Close initiates a graceful shutdown: queued data is delivered, then
+// a FIN. Close does not block; use Drain first for synchronous
+// semantics.
+func (c *Conn) Close() {
+	if c.closeRequested || c.state == stateClosed {
+		return
+	}
+	c.closeRequested = true
+	c.finSeq = c.sndBufEnd
+	c.trySend()
+}
+
+// abort resets the connection immediately.
+func (c *Conn) abort(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	seg := &segment{flags: flagRST, seq: c.sndNxt}
+	c.sendSegment(seg)
+	c.destroy(err)
+}
+
+// destroy tears down local state and wakes all blocked operations.
+func (c *Conn) destroy(err error) {
+	if c.state == stateClosed && c.err != nil {
+		return
+	}
+	c.state = stateClosed
+	if c.err == nil {
+		c.err = err
+	}
+	if c.rtxTimer != nil {
+		c.rtxTimer.Cancel()
+		c.rtxTimer = nil
+	}
+	if c.delack != nil {
+		c.delack.Cancel()
+		c.delack = nil
+	}
+	if c.persistTimer != nil {
+		c.persistTimer.Cancel()
+		c.persistTimer = nil
+	}
+	delete(c.stack.conns, connKey{localPort: c.lport, remoteAddr: c.raddr, remotePort: c.rport})
+	c.established.Broadcast()
+	c.sndCond.Broadcast()
+	c.rcvCond.Broadcast()
+}
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn{%s:%d->%d:%d}", c.stack.node.Name(), c.lport, c.raddr, c.rport)
+}

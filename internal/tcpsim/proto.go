@@ -1,0 +1,588 @@
+package tcpsim
+
+import (
+	"time"
+
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/units"
+)
+
+// sendFlags transmits a zero-length control segment.
+func (c *Conn) sendFlags(flags uint8, seq, ack int64) {
+	c.sendSegment(&segment{flags: flags, seq: seq, ack: ack, wnd: c.advertisedWnd()})
+}
+
+// sendAck transmits a pure ACK for the current receive state.
+func (c *Conn) sendAck() {
+	if c.delack != nil {
+		c.delack.Cancel()
+		c.delack = nil
+	}
+	c.unacked = 0
+	c.sendFlags(flagACK, c.sndNxt, c.rcvNxt)
+}
+
+// scheduleAck implements the delayed-ACK policy: immediate by default,
+// or ack-every-other-segment with a 40 ms cap when enabled.
+func (c *Conn) scheduleAck() {
+	if !c.stack.opts.DelayedAck {
+		c.sendAck()
+		return
+	}
+	c.unacked++
+	if c.unacked >= 2 {
+		c.sendAck()
+		return
+	}
+	if c.delack == nil {
+		c.delack = c.stack.k.After(40*time.Millisecond, func() {
+			c.delack = nil
+			if c.unacked > 0 {
+				c.sendAck()
+			}
+		})
+	}
+}
+
+// sendSegment wraps a segment into a packet and hands it to the node.
+func (c *Conn) sendSegment(seg *segment) {
+	p := &netsim.Packet{
+		Src:        c.LocalAddr(),
+		Dst:        c.raddr,
+		SrcPort:    c.lport,
+		DstPort:    c.rport,
+		Proto:      netsim.ProtoTCP,
+		DSCP:       c.dscp,
+		Size:       seg.length + netsim.TCPHeader + netsim.IPHeader,
+		PayloadLen: seg.length,
+		Payload:    seg,
+	}
+	c.stats.SegmentsSent++
+	// A local egress drop is just loss; retransmission recovers it.
+	c.stack.node.Send(p)
+}
+
+// effectiveWnd returns the sender's usable window in bytes.
+func (c *Conn) effectiveWnd() int64 {
+	w := int64(c.cwnd)
+	if r := int64(c.rwnd); r < w && !c.inRecovery {
+		w = r
+	}
+	return w
+}
+
+// trySend transmits as much new data (and the FIN) as window allows.
+func (c *Conn) trySend() {
+	if c.state != stateEstablished {
+		return
+	}
+	// Slow-start restart: a connection idle past its RTO loses its
+	// ACK clock; collapse cwnd to the initial window and ramp again.
+	if !c.stack.opts.DisableSSR && c.sndNxt == c.sndUna && c.sndNxt < c.sndBufEnd &&
+		c.lastSend > 0 && c.stack.k.Now()-c.lastSend > c.rto {
+		if iw := float64(c.mss) * float64(c.stack.opts.InitialCwndSegs); c.cwnd > iw {
+			c.cwnd = iw
+		}
+	}
+	for {
+		avail := c.sndUna + c.effectiveWnd() - c.sndNxt
+		if avail <= 0 {
+			// Zero-window with nothing in flight: arm the persist
+			// timer so a lost window update cannot deadlock us.
+			if c.sndNxt == c.sndUna && c.sndNxt < c.sndBufEnd {
+				c.armPersist()
+			}
+			break
+		}
+		dataEnd := c.sndBufEnd
+		if c.sndNxt < dataEnd {
+			n := int64(c.mss)
+			if rem := dataEnd - c.sndNxt; rem < n {
+				n = rem
+			}
+			if avail < n {
+				// Don't send a runt mid-stream unless it is all we
+				// may send and nothing is in flight (avoid silly
+				// window syndrome, keep ACK clock alive).
+				if c.sndNxt != c.sndUna {
+					break
+				}
+				n = avail
+			}
+			c.transmitRange(c.sndNxt, units.ByteSize(n), false)
+			c.sndNxt += n
+			c.armRtx()
+			continue
+		}
+		if c.closeRequested && c.sndNxt == c.finSeq {
+			c.sendDataSegment(&segment{
+				flags: flagFIN | flagACK, seq: c.sndNxt, ack: c.rcvNxt, wnd: c.advertisedWnd(),
+			})
+			c.sndNxt = c.finSeq + 1
+			if c.sndNxt > c.sndMax {
+				c.sndMax = c.sndNxt
+			}
+			c.armRtx()
+		}
+		break
+	}
+}
+
+// transmitRange sends payload bytes [seq, seq+n) with any markers in
+// that range attached.
+func (c *Conn) transmitRange(seq int64, n units.ByteSize, retx bool) {
+	seg := &segment{
+		flags:  flagACK,
+		seq:    seq,
+		ack:    c.rcvNxt,
+		length: n,
+		wnd:    c.advertisedWnd(),
+	}
+	end := seq + int64(n)
+	if end > c.sndMax {
+		c.sndMax = end
+	}
+	for _, m := range c.sndMarkers {
+		if m.pos > seq && m.pos <= end {
+			seg.markers = append(seg.markers, m)
+		}
+	}
+	c.stats.BytesSent += int64(n)
+	if retx {
+		c.stats.Retransmits++
+	} else if !c.rttTiming {
+		// Karn's algorithm: time only segments sent once.
+		c.rttTiming = true
+		c.rttSeq = end
+		c.rttStart = c.stack.k.Now()
+	}
+	if c.TraceSend != nil {
+		c.TraceSend(c.stack.k.Now(), seq, n, retx)
+	}
+	c.sendDataSegment(seg)
+}
+
+func (c *Conn) sendDataSegment(seg *segment) {
+	c.sendSegment(seg)
+	c.lastSend = c.stack.k.Now()
+	c.unacked = 0 // data segments piggyback the ACK
+}
+
+// armPersist schedules a one-byte zero-window probe.
+func (c *Conn) armPersist() {
+	if c.persistTimer != nil && c.persistTimer.Pending() {
+		return
+	}
+	c.persistTimer = c.stack.k.After(c.rto, func() {
+		c.persistTimer = nil
+		if c.state != stateEstablished || c.sndNxt != c.sndUna ||
+			c.sndNxt >= c.sndBufEnd || c.effectiveWnd() > 0 {
+			c.trySend()
+			return
+		}
+		c.transmitRange(c.sndNxt, 1, false)
+		c.sndNxt++
+		c.armRtx()
+	})
+}
+
+// armRtx starts the retransmission timer if it is not running.
+func (c *Conn) armRtx() {
+	if c.rtxTimer != nil && c.rtxTimer.Pending() {
+		return
+	}
+	c.rtxTimer = c.stack.k.After(c.rto, c.onRTO)
+}
+
+// restartRtx restarts the timer (after an ACK advancing sndUna).
+func (c *Conn) restartRtx() {
+	if c.rtxTimer != nil {
+		c.rtxTimer.Cancel()
+		c.rtxTimer = nil
+	}
+	if c.sndNxt > c.sndUna {
+		c.rtxTimer = c.stack.k.After(c.rto, c.onRTO)
+	}
+}
+
+// onRTO handles a retransmission timeout: multiplicative backoff,
+// collapse to slow start, go-back-N from sndUna. This is the "TCP
+// kicks into slow start mode" behaviour at the heart of the paper's
+// Figures 1 and 6.
+func (c *Conn) onRTO() {
+	c.rtxTimer = nil
+	if c.state != stateEstablished || c.sndNxt == c.sndUna {
+		return
+	}
+	c.stats.Timeouts++
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = flight / 2
+	if min := 2 * float64(c.mss); c.ssthresh < min {
+		c.ssthresh = min
+	}
+	c.cwnd = float64(c.mss)
+	c.inRecovery = false
+	c.dupAcks = 0
+	c.rttTiming = false
+	c.rto *= 2
+	if c.rto > c.stack.opts.MaxRTO {
+		c.rto = c.stack.opts.MaxRTO
+	}
+	// Go-back-N: always retransmit the first outstanding segment,
+	// regardless of the advertised window (a zero window must not
+	// block recovery of already-sent data).
+	c.sndNxt = c.sndUna
+	n := int64(c.mss)
+	if rem := c.sndBufEnd - c.sndUna; rem < n {
+		n = rem
+	}
+	if n > 0 {
+		c.transmitRange(c.sndUna, units.ByteSize(n), true)
+		c.sndNxt = c.sndUna + n
+	} else if c.closeRequested && c.sndUna == c.finSeq {
+		c.stats.Retransmits++
+		c.sendDataSegment(&segment{
+			flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt, wnd: c.advertisedWnd(),
+		})
+		c.sndNxt = c.finSeq + 1
+	}
+	c.trySend()
+	c.armRtx()
+}
+
+// sampleRTT folds a measurement into srtt/rttvar per RFC 6298.
+func (c *Conn) sampleRTT(r time.Duration) {
+	if !c.hasRTT {
+		c.srtt = r
+		c.rttvar = r / 2
+		c.hasRTT = true
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.stack.opts.MinRTO {
+		c.rto = c.stack.opts.MinRTO
+	}
+	if c.rto > c.stack.opts.MaxRTO {
+		c.rto = c.stack.opts.MaxRTO
+	}
+}
+
+// handleSegment is the per-connection packet entry point.
+func (c *Conn) handleSegment(seg *segment, p *netsim.Packet) {
+	switch c.state {
+	case stateClosed:
+		return
+	case stateSynSent:
+		if seg.flags&flagRST != 0 {
+			c.destroy(ErrRefused)
+			return
+		}
+		if seg.flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.ack == c.iss+1 {
+			c.irs = seg.seq
+			c.rcvNxt = seg.seq + 1
+			c.sndUna = seg.ack
+			c.sndNxt = seg.ack
+			c.sndMax = seg.ack
+			c.rwnd = seg.wnd
+			c.state = stateEstablished
+			c.sendAck()
+			c.established.Broadcast()
+		}
+		return
+	case stateSynRcvd:
+		if seg.flags&flagRST != 0 {
+			c.destroy(ErrReset)
+			return
+		}
+		if seg.flags&flagACK != 0 && seg.ack == c.iss+1 {
+			c.sndUna = seg.ack
+			c.sndNxt = seg.ack
+			c.sndMax = seg.ack
+			c.rwnd = seg.wnd
+			c.state = stateEstablished
+			c.established.Broadcast()
+			if c.listener != nil {
+				if c.listener.closed {
+					c.abort(ErrReset)
+					return
+				}
+				c.listener.backlog.Send(c)
+			}
+			// Fall through: the completing segment may carry data.
+		} else if seg.flags&flagSYN != 0 {
+			// Retransmitted SYN: repeat the SYN|ACK.
+			c.sendFlags(flagSYN|flagACK, c.iss, c.rcvNxt)
+			return
+		} else {
+			return
+		}
+	}
+	// Established.
+	if seg.flags&flagRST != 0 {
+		c.destroy(ErrReset)
+		return
+	}
+	if seg.flags&flagSYN != 0 && seg.flags&flagACK != 0 {
+		// Duplicate SYN|ACK (our handshake ACK was lost).
+		c.sendAck()
+		return
+	}
+	if seg.flags&flagACK != 0 {
+		c.processAck(seg)
+	}
+	if seg.length > 0 {
+		c.processData(seg)
+	}
+	if seg.flags&flagFIN != 0 {
+		c.processFin(seg)
+	}
+}
+
+// processAck implements Reno/NewReno ACK processing.
+func (c *Conn) processAck(seg *segment) {
+	ack := seg.ack
+	if ack > c.sndMax {
+		return // acks data we never sent
+	}
+	wndChanged := seg.wnd != c.rwnd
+	c.rwnd = seg.wnd
+	if ack > c.sndUna {
+		acked := ack - c.sndUna
+		c.sndUna = ack
+		if c.sndNxt < ack {
+			// An ACK for data sent before a go-back-N reset: skip
+			// ahead rather than re-sending what the peer has.
+			c.sndNxt = ack
+		}
+		c.stats.BytesAcked += acked
+		c.trimMarkers()
+		if c.rttTiming && ack >= c.rttSeq {
+			c.sampleRTT(c.stack.k.Now() - c.rttStart)
+			c.rttTiming = false
+		}
+		mss := float64(c.mss)
+		if c.inRecovery {
+			if !c.stack.opts.NewReno || ack > c.recover {
+				// Full ACK: leave fast recovery.
+				c.inRecovery = false
+				c.cwnd = c.ssthresh
+				c.dupAcks = 0
+			} else {
+				// Partial ACK (NewReno): retransmit the next hole,
+				// deflate by the amount acked.
+				c.retransmitHole()
+				c.cwnd -= float64(acked)
+				c.cwnd += mss
+				if c.cwnd < mss {
+					c.cwnd = mss
+				}
+				c.restartRtx()
+			}
+		} else {
+			c.dupAcks = 0
+			// Congestion window validation: only grow cwnd if the
+			// window was essentially full when this data was sent —
+			// an app-limited flow keeps its cwnd matched to actual
+			// usage.
+			wasLimited := c.stack.opts.DisableCWV ||
+				float64(acked)+float64(c.sndNxt-c.sndUna) >= c.cwnd-mss
+			if wasLimited {
+				if c.cwnd < c.ssthresh {
+					c.cwnd += mss // slow start
+				} else {
+					c.cwnd += mss * mss / c.cwnd // congestion avoidance
+				}
+			}
+		}
+		c.restartRtx()
+		if c.closeRequested && c.finSeq >= 0 && ack > c.finSeq && !c.finAcked {
+			c.finAcked = true
+			c.sndCond.Broadcast()
+			c.maybeTeardown()
+			return
+		}
+		c.sndCond.Broadcast()
+		c.trySend()
+		return
+	}
+	// Duplicate ACK detection: same ack, no payload, unchanged
+	// window, data outstanding.
+	if ack == c.sndUna && seg.length == 0 && !wndChanged && c.sndNxt > c.sndUna {
+		c.stats.DupAcksSeen++
+		c.dupAcks++
+		mss := float64(c.mss)
+		if c.inRecovery {
+			c.cwnd += mss // inflate
+			c.trySend()
+			return
+		}
+		if c.dupAcks == 3 {
+			// Fast retransmit + fast recovery.
+			c.stats.FastRetransmit++
+			flight := float64(c.sndNxt - c.sndUna)
+			c.ssthresh = flight / 2
+			if min := 2 * mss; c.ssthresh < min {
+				c.ssthresh = min
+			}
+			c.recover = c.sndNxt
+			c.inRecovery = true
+			c.cwnd = c.ssthresh + 3*mss
+			c.retransmitHole()
+			c.restartRtx()
+		}
+	} else {
+		// Window update or simultaneous data: may unblock sending.
+		c.trySend()
+	}
+}
+
+// retransmitHole resends the segment (or FIN) starting at sndUna.
+func (c *Conn) retransmitHole() {
+	n := int64(c.mss)
+	if rem := c.sndBufEnd - c.sndUna; rem < n {
+		n = rem
+	}
+	if n > 0 {
+		c.transmitRange(c.sndUna, units.ByteSize(n), true)
+		return
+	}
+	if c.closeRequested && c.sndUna == c.finSeq {
+		c.stats.Retransmits++
+		c.sendDataSegment(&segment{
+			flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt, wnd: c.advertisedWnd(),
+		})
+	}
+}
+
+// trimMarkers discards sender-side markers at or below sndUna (they
+// have been delivered).
+func (c *Conn) trimMarkers() {
+	i := 0
+	for _, m := range c.sndMarkers {
+		if m.pos > c.sndUna {
+			c.sndMarkers[i] = m
+			i++
+		}
+	}
+	c.sndMarkers = c.sndMarkers[:i]
+}
+
+// processData handles an arriving payload range.
+func (c *Conn) processData(seg *segment) {
+	start, end := seg.seq, seg.seq+int64(seg.length)
+	// Absorb markers (dedup on position; retransmits repeat them).
+	for _, m := range seg.markers {
+		if !c.seenMarker[m.pos] {
+			c.seenMarker[m.pos] = true
+			c.rcvMarkers[m.pos] = m.obj
+		}
+	}
+	switch {
+	case end <= c.rcvNxt:
+		// Pure duplicate; re-ACK immediately so the sender's dup-ack
+		// machinery sees it.
+		c.sendAck()
+		return
+	case start <= c.rcvNxt:
+		// In-order (possibly overlapping) data.
+		if units.ByteSize(end-c.readPos) > c.rcvBufCap {
+			// Beyond our buffer: truncate to what fits.
+			limit := c.readPos + int64(c.rcvBufCap)
+			if limit <= c.rcvNxt {
+				c.sendAck()
+				return
+			}
+			end = limit
+		}
+		advanced := end - c.rcvNxt
+		c.rcvNxt = end
+		c.stats.BytesReceived += advanced
+		c.mergeOOO()
+		c.checkPeerFin()
+		c.scheduleAck()
+		c.rcvCond.Broadcast()
+	default:
+		// Out of order: store the interval, ACK the old rcvNxt (a
+		// duplicate ACK that triggers the sender's fast retransmit).
+		if units.ByteSize(end-c.readPos) <= c.rcvBufCap {
+			c.insertOOO(interval{start: start, end: end})
+		}
+		c.sendAck()
+	}
+}
+
+// insertOOO records an out-of-order range, merging overlaps.
+func (c *Conn) insertOOO(iv interval) {
+	merged := []interval{}
+	for _, x := range c.ooo {
+		if x.end < iv.start || x.start > iv.end {
+			merged = append(merged, x)
+			continue
+		}
+		if x.start < iv.start {
+			iv.start = x.start
+		}
+		if x.end > iv.end {
+			iv.end = x.end
+		}
+	}
+	merged = append(merged, iv)
+	c.ooo = merged
+}
+
+// mergeOOO advances rcvNxt across any stored ranges it now reaches.
+func (c *Conn) mergeOOO() {
+	for changed := true; changed; {
+		changed = false
+		keep := c.ooo[:0]
+		for _, iv := range c.ooo {
+			switch {
+			case iv.end <= c.rcvNxt:
+				// Fully consumed.
+			case iv.start <= c.rcvNxt:
+				adv := iv.end - c.rcvNxt
+				c.rcvNxt = iv.end
+				c.stats.BytesReceived += adv
+				changed = true
+			default:
+				keep = append(keep, iv)
+			}
+		}
+		c.ooo = keep
+	}
+}
+
+// processFin handles the peer's FIN.
+func (c *Conn) processFin(seg *segment) {
+	if c.peerFin < 0 {
+		c.peerFin = seg.seq
+	}
+	c.checkPeerFin()
+	c.sendAck()
+}
+
+// checkPeerFin delivers EOF once all data before the FIN has arrived.
+func (c *Conn) checkPeerFin() {
+	if c.peerFin >= 0 && c.rcvNxt >= c.peerFin && !c.eof {
+		c.rcvNxt = c.peerFin + 1
+		c.eof = true
+		c.rcvCond.Broadcast()
+		c.maybeTeardown()
+	}
+}
+
+// maybeTeardown removes the connection once both directions have shut
+// down cleanly (our FIN acked, peer's FIN received). Lingering until
+// then avoids spurious RSTs when the two sides close at different
+// times.
+func (c *Conn) maybeTeardown() {
+	if c.finAcked && c.eof {
+		c.destroy(ErrClosed)
+	}
+}

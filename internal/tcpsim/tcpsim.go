@@ -1,0 +1,330 @@
+// Package tcpsim implements a TCP transport (Reno/NewReno congestion
+// control) over the netsim packet network.
+//
+// The paper's central difficulty is TCP's reaction to token-bucket
+// policing: "TCP kicks into slow start mode and starts sending more
+// slowly, gradually building up its send rate until packets are
+// dropped again" (§3). Reproducing Figures 1, 5, and 6 therefore
+// requires a faithful congestion-control implementation: slow start,
+// congestion avoidance, fast retransmit/fast recovery, retransmission
+// timeouts with exponential backoff, and Jacobson/Karn RTT estimation.
+//
+// Data is modelled as byte counts, not buffers: Write(n) injects n
+// bytes of stream, Read returns byte counts. Applications that need to
+// move structured messages (the MPI library) attach *markers* to
+// stream positions with WriteMsg/ReadMsg; markers ride inside segments
+// and are delivered exactly once, in stream order, when the receiver
+// has consumed the stream past them.
+package tcpsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Errors returned by connection operations.
+var (
+	ErrClosed       = errors.New("tcpsim: connection closed")
+	ErrReset        = errors.New("tcpsim: connection reset by peer")
+	ErrRefused      = errors.New("tcpsim: connection refused")
+	ErrTimeout      = errors.New("tcpsim: connection timed out")
+	ErrPortInUse    = errors.New("tcpsim: port in use")
+	ErrListenClosed = errors.New("tcpsim: listener closed")
+)
+
+// Options configure a stack's default connection parameters.
+// Individual connections can override buffers and DSCP after creation.
+type Options struct {
+	// MSS is the maximum segment (payload) size. Default 1460 bytes.
+	MSS units.ByteSize
+	// SndBuf is the send socket buffer size. Default 64 KB. The
+	// paper's §5.5 anecdote used 8 KB before tuning.
+	SndBuf units.ByteSize
+	// RcvBuf is the receive socket buffer size. Default 64 KB.
+	RcvBuf units.ByteSize
+	// InitialCwnd is the initial congestion window in segments.
+	// Default 2 (RFC 2581).
+	InitialCwndSegs int
+	// MinRTO / MaxRTO / InitialRTO bound the retransmission timer.
+	// Defaults 200 ms / 60 s / 1 s.
+	MinRTO, MaxRTO, InitialRTO time.Duration
+	// NewReno enables partial-ACK retransmission during fast
+	// recovery (RFC 2582). Default true.
+	NewReno bool
+	// DelayedAck enables a 40 ms delayed-ACK timer with
+	// ack-every-other-segment. Default false (immediate ACKs).
+	DelayedAck bool
+	// DisableCWV turns off congestion-window validation (RFC 2861):
+	// with CWV on (default), cwnd only grows while the window is
+	// actually being filled, so app-limited flows do not accumulate
+	// a huge cwnd and then dump line-rate bursts into policers.
+	DisableCWV bool
+	// DisableSSR turns off slow-start restart after idle: with SSR
+	// on (default), a connection idle for longer than its RTO
+	// collapses cwnd back to the initial window, as 2000-era stacks
+	// did. This is a large part of why very bursty (1 fps) flows
+	// need bigger reservations (§5.4).
+	DisableSSR bool
+	// SynRetries is the number of SYN (re)transmissions before Dial
+	// fails with ErrTimeout. Default 5.
+	SynRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MSS == 0 {
+		o.MSS = 1460
+	}
+	if o.SndBuf == 0 {
+		o.SndBuf = 64 * units.KB
+	}
+	if o.RcvBuf == 0 {
+		o.RcvBuf = 64 * units.KB
+	}
+	if o.InitialCwndSegs == 0 {
+		o.InitialCwndSegs = 2
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 200 * time.Millisecond
+	}
+	if o.MaxRTO == 0 {
+		o.MaxRTO = 60 * time.Second
+	}
+	if o.InitialRTO == 0 {
+		o.InitialRTO = time.Second
+	}
+	if o.SynRetries == 0 {
+		o.SynRetries = 5
+	}
+	return o
+}
+
+// DefaultOptions returns the stack defaults (NewReno enabled).
+func DefaultOptions() Options {
+	o := Options{NewReno: true}
+	return o.withDefaults()
+}
+
+type connKey struct {
+	localPort  netsim.Port
+	remoteAddr netsim.Addr
+	remotePort netsim.Port
+}
+
+// Stack is the TCP transport instance on one node.
+type Stack struct {
+	k         *sim.Kernel
+	node      *netsim.Node
+	opts      Options
+	conns     map[connKey]*Conn
+	listeners map[netsim.Port]*Listener
+	nextPort  netsim.Port
+
+	rstSent uint64
+}
+
+// NewStack creates a TCP stack on node nd and registers it as the
+// node's TCP handler. Zero-valued Options fields get defaults;
+// DefaultOptions().NewReno is only applied when opts is entirely zero,
+// so pass DefaultOptions() (or set NewReno explicitly) for NewReno.
+func NewStack(nd *netsim.Node, opts Options) *Stack {
+	s := &Stack{
+		k:         nd.Network().Kernel(),
+		node:      nd,
+		opts:      opts.withDefaults(),
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[netsim.Port]*Listener),
+		nextPort:  40000,
+	}
+	nd.Handle(netsim.ProtoTCP, s)
+	return s
+}
+
+// Node returns the node the stack runs on.
+func (s *Stack) Node() *netsim.Node { return s.node }
+
+// Options returns the stack's default options.
+func (s *Stack) Options() Options { return s.opts }
+
+func (s *Stack) allocPort() netsim.Port {
+	for {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 40000
+		}
+		if _, used := s.listeners[p]; used {
+			continue
+		}
+		inUse := false
+		for k := range s.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// HandlePacket implements netsim.Handler: demultiplex to an existing
+// connection, a listener (SYN), or answer with RST.
+func (s *Stack) HandlePacket(p *netsim.Packet) {
+	seg, ok := p.Payload.(*segment)
+	if !ok {
+		return
+	}
+	key := connKey{localPort: p.DstPort, remoteAddr: p.Src, remotePort: p.SrcPort}
+	if c := s.conns[key]; c != nil {
+		c.handleSegment(seg, p)
+		return
+	}
+	if seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
+		if l := s.listeners[p.DstPort]; l != nil && !l.closed {
+			l.handleSyn(seg, p)
+			return
+		}
+	}
+	if seg.flags&flagRST == 0 {
+		s.sendRST(p)
+	}
+}
+
+func (s *Stack) sendRST(orig *netsim.Packet) {
+	s.rstSent++
+	seg := &segment{flags: flagRST, ack: orig.Payload.(*segment).seq + 1}
+	pkt := &netsim.Packet{
+		Src:     s.node.Addr(),
+		Dst:     orig.Src,
+		SrcPort: orig.DstPort,
+		DstPort: orig.SrcPort,
+		Proto:   netsim.ProtoTCP,
+		Size:    netsim.TCPHeader + netsim.IPHeader,
+		Payload: seg,
+	}
+	s.node.Send(pkt)
+}
+
+// Dial opens a connection to (raddr, rport), blocking the calling
+// process until the handshake completes or fails.
+func (s *Stack) Dial(ctx *sim.Ctx, raddr netsim.Addr, rport netsim.Port) (*Conn, error) {
+	return s.DialFrom(ctx, 0, raddr, rport)
+}
+
+// DialFrom is Dial with an explicit local port (0 = ephemeral).
+func (s *Stack) DialFrom(ctx *sim.Ctx, lport netsim.Port, raddr netsim.Addr, rport netsim.Port) (*Conn, error) {
+	if lport == 0 {
+		lport = s.allocPort()
+	}
+	key := connKey{localPort: lport, remoteAddr: raddr, remotePort: rport}
+	if s.conns[key] != nil {
+		return nil, ErrPortInUse
+	}
+	c := newConn(s, lport, raddr, rport)
+	s.conns[key] = c
+	c.state = stateSynSent
+	rto := s.opts.InitialRTO
+	for attempt := 0; attempt < s.opts.SynRetries; attempt++ {
+		c.sendFlags(flagSYN, c.iss, 0)
+		if c.established.WaitTimeout(ctx, rto) {
+			break
+		}
+		rto *= 2
+	}
+	switch c.state {
+	case stateEstablished:
+		return c, nil
+	case stateClosed:
+		err := c.err
+		if err == nil {
+			err = ErrRefused
+		}
+		delete(s.conns, key)
+		return nil, err
+	default:
+		c.destroy(ErrTimeout)
+		return nil, ErrTimeout
+	}
+}
+
+// Listen opens a listener on port (0 = ephemeral).
+func (s *Stack) Listen(port netsim.Port) (*Listener, error) {
+	if port == 0 {
+		port = s.allocPort()
+	}
+	if s.listeners[port] != nil {
+		return nil, ErrPortInUse
+	}
+	l := &Listener{stack: s, port: port, backlog: sim.NewMailbox(s.k)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// ConnCount returns the number of live connections (diagnostics).
+func (s *Stack) ConnCount() int { return len(s.conns) }
+
+// Listener accepts incoming connections on one port.
+type Listener struct {
+	stack   *Stack
+	port    netsim.Port
+	backlog *sim.Mailbox
+	closed  bool
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() netsim.Port { return l.port }
+
+// Accept blocks until a fully established connection is available.
+func (l *Listener) Accept(ctx *sim.Ctx) (*Conn, error) {
+	v, ok := l.backlog.Recv(ctx)
+	if !ok {
+		return nil, ErrListenClosed
+	}
+	return v.(*Conn), nil
+}
+
+// Close stops accepting. Established-but-unaccepted connections are
+// reset.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.stack.listeners, l.port)
+	for {
+		v, ok := l.backlog.TryRecv()
+		if !ok {
+			break
+		}
+		v.(*Conn).abort(ErrReset)
+	}
+	l.backlog.Close()
+}
+
+// handleSyn creates a half-open connection and replies SYN|ACK.
+func (l *Listener) handleSyn(seg *segment, p *netsim.Packet) {
+	s := l.stack
+	key := connKey{localPort: p.DstPort, remoteAddr: p.Src, remotePort: p.SrcPort}
+	if s.conns[key] != nil {
+		return // duplicate SYN; conn will handle retransmit
+	}
+	c := newConn(s, p.DstPort, p.Src, p.SrcPort)
+	s.conns[key] = c
+	c.listener = l
+	c.state = stateSynRcvd
+	c.rcvNxt = seg.seq + 1
+	c.irs = seg.seq
+	c.sendFlags(flagSYN|flagACK, c.iss, c.rcvNxt)
+	// If the handshake ACK is lost the client's data segment will
+	// also complete it; no SYN|ACK retransmit timer for simplicity.
+}
+
+func (s *Stack) String() string {
+	return fmt.Sprintf("tcp@%s(%d conns)", s.node.Name(), len(s.conns))
+}

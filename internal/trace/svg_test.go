@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func linePlot() Plot {
+	return Plot{
+		Title:  "Bandwidth",
+		XLabel: "time (s)",
+		YLabel: "Kb/s",
+		Series: []Series{
+			{Name: "flow", Points: []Point{
+				{T: 0, V: 100}, {T: time.Second, V: 300}, {T: 2 * time.Second, V: 200},
+			}},
+		},
+	}
+}
+
+func TestPlotSVGWellFormed(t *testing.T) {
+	out := linePlot().SVG()
+	for _, want := range []string{"<svg", "</svg>", "<path", "Bandwidth", "Kb/s", "time (s)", "flow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("SVG not a single document")
+	}
+}
+
+func TestPlotScatterUsesCircles(t *testing.T) {
+	p := linePlot()
+	p.Scatter = true
+	out := p.SVG()
+	if !strings.Contains(out, "<circle") || strings.Contains(out, "<path") {
+		t.Fatal("scatter plot should use circles, not paths")
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	p := Plot{Title: "empty"}
+	out := p.SVG()
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("empty plot should still render")
+	}
+}
+
+func TestPlotEscapesMarkup(t *testing.T) {
+	p := linePlot()
+	p.Title = "a<b & c>d"
+	out := p.SVG()
+	if strings.Contains(out, "a<b") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestXYSeries(t *testing.T) {
+	s := XYSeries("curve", []float64{1, 2, 3}, []float64{10, 20})
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (truncated to shorter slice)", len(s.Points))
+	}
+	if s.Points[1].T != 2*time.Second || s.Points[1].V != 20 {
+		t.Fatalf("points = %v", s.Points)
+	}
+}
+
+func TestPlotMultiSeriesDistinctColors(t *testing.T) {
+	p := Plot{Series: []Series{
+		{Name: "a", Points: []Point{{T: 0, V: 1}, {T: time.Second, V: 2}}},
+		{Name: "b", Points: []Point{{T: 0, V: 2}, {T: time.Second, V: 1}}},
+	}}
+	out := p.SVG()
+	if !strings.Contains(out, plotColors[0]) || !strings.Contains(out, plotColors[1]) {
+		t.Fatal("series should get distinct colors")
+	}
+}

@@ -1,0 +1,105 @@
+// Package trafficgen provides the contention generators the paper's
+// experiments use: a UDP blaster "quite capable of overwhelming any
+// TCP application that does not have a reservation" (§5.2) and a
+// CPU-intensive hog process (§5.5).
+package trafficgen
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// UDPBlaster floods a destination with best-effort UDP datagrams at a
+// configured rate.
+type UDPBlaster struct {
+	// Rate is the offered load. Required.
+	Rate units.BitRate
+	// PacketSize is the datagram payload size. Default 1000 bytes.
+	PacketSize units.ByteSize
+	// Jitter randomizes inter-packet gaps by ±fraction (0 = perfectly
+	// paced CBR). A little jitter avoids phase-locking with the
+	// victim's packets.
+	Jitter float64
+	// Start and Stop bound the blasting window; Stop 0 = forever.
+	Start, Stop time.Duration
+
+	sent int64
+}
+
+// Run attaches the blaster to src targeting dst's port. It spawns the
+// generator process and returns immediately.
+func (b *UDPBlaster) Run(src, dst *netsim.Node, port netsim.Port) error {
+	if b.Rate <= 0 {
+		return fmt.Errorf("trafficgen: blaster needs a positive rate")
+	}
+	if b.PacketSize == 0 {
+		b.PacketSize = 1000
+	}
+	k := src.Network().Kernel()
+	sock, err := src.UDPStack().Bind(0)
+	if err != nil {
+		return err
+	}
+	// Make sure something sinks the datagrams (drops at the stack are
+	// fine too, but a bound sink keeps counters meaningful).
+	dstStack := dst.UDPStack()
+	if sink, err := dstStack.Bind(port); err == nil {
+		k.Spawn(fmt.Sprintf("blaster-sink-%s", dst.Name()), func(ctx *sim.Ctx) {
+			for {
+				if _, err := sink.Recv(ctx); err != nil {
+					return
+				}
+			}
+		})
+	}
+	gap := b.Rate.TimeToSend(b.PacketSize + netsim.UDPHeader + netsim.IPHeader)
+	k.SpawnAt(b.Start, fmt.Sprintf("blaster-%s->%s", src.Name(), dst.Name()), func(ctx *sim.Ctx) {
+		for b.Stop == 0 || ctx.Now() < b.Stop {
+			sock.SendTo(dst.Addr(), port, b.PacketSize, nil)
+			b.sent++
+			d := gap
+			if b.Jitter > 0 {
+				d = time.Duration(float64(gap) * ctx.RNG().Jitter(b.Jitter))
+			}
+			ctx.Sleep(d)
+		}
+	})
+	return nil
+}
+
+// Sent returns the number of datagrams offered so far.
+func (b *UDPBlaster) Sent() int64 { return b.sent }
+
+// CPUHog occupies a CPU with continuous best-effort computation
+// between Start and Stop (Stop 0 = forever), emulating "a
+// CPU-intensive application ... running on the same machine as the
+// sending side" (§5.5).
+type CPUHog struct {
+	Start, Stop time.Duration
+	// Slice is the length of each compute burst. Default 10 ms.
+	Slice time.Duration
+
+	task *dsrt.Task
+}
+
+// Run attaches the hog to a CPU and spawns its process.
+func (h *CPUHog) Run(k *sim.Kernel, cpu *dsrt.CPU) {
+	if h.Slice == 0 {
+		h.Slice = 10 * time.Millisecond
+	}
+	h.task = cpu.NewTask("cpu-hog")
+	k.SpawnAt(h.Start, fmt.Sprintf("cpu-hog-%s", cpu.Name()), func(ctx *sim.Ctx) {
+		for h.Stop == 0 || ctx.Now() < h.Stop {
+			h.task.Compute(ctx, h.Slice)
+		}
+		h.task.Close()
+	})
+}
+
+// Task returns the hog's DSRT task (for inspection).
+func (h *CPUHog) Task() *dsrt.Task { return h.task }

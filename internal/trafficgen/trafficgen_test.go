@@ -1,0 +1,113 @@
+package trafficgen
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/dsrt"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+func TestBlasterOfferedRate(t *testing.T) {
+	k := sim.New(1)
+	n := netsim.New(k)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	n.Connect(a, b, 100*units.Mbps, time.Millisecond)
+	n.ComputeRoutes()
+	bl := &UDPBlaster{Rate: 20 * units.Mbps, PacketSize: 1000}
+	if err := bl.Run(a, b, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 20 Mb/s in 1028-byte wire packets for 10 s ≈ 24320 packets.
+	wantF := 10 * 20e6 / (1028 * 8.0)
+	want := int64(wantF)
+	if bl.Sent() < want*95/100 || bl.Sent() > want*105/100 {
+		t.Fatalf("sent %d datagrams, want ~%d", bl.Sent(), want)
+	}
+}
+
+func TestBlasterWindow(t *testing.T) {
+	k := sim.New(1)
+	n := netsim.New(k)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	n.Connect(a, b, 100*units.Mbps, 0)
+	n.ComputeRoutes()
+	bl := &UDPBlaster{Rate: 10 * units.Mbps, Start: 2 * time.Second, Stop: 4 * time.Second}
+	if err := bl.Run(a, b, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bl.Sent() != 0 {
+		t.Fatal("blaster started early")
+	}
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sent := bl.Sent()
+	if sent == 0 {
+		t.Fatal("blaster never ran")
+	}
+	if err := k.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if bl.Sent() != sent {
+		t.Fatal("blaster kept sending after Stop")
+	}
+}
+
+func TestBlasterJitterDeterministic(t *testing.T) {
+	run := func() int64 {
+		k := sim.New(7)
+		n := netsim.New(k)
+		a, b := n.AddNode("a"), n.AddNode("b")
+		n.Connect(a, b, 100*units.Mbps, 0)
+		n.ComputeRoutes()
+		bl := &UDPBlaster{Rate: 10 * units.Mbps, Jitter: 0.2}
+		bl.Run(a, b, 9000)
+		k.RunUntil(5 * time.Second)
+		return bl.Sent()
+	}
+	if run() != run() {
+		t.Fatal("jittered blaster not deterministic across same-seed runs")
+	}
+}
+
+func TestBlasterValidation(t *testing.T) {
+	k := sim.New(1)
+	n := netsim.New(k)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	n.Connect(a, b, units.Mbps, 0)
+	n.ComputeRoutes()
+	bl := &UDPBlaster{}
+	if err := bl.Run(a, b, 9); err == nil {
+		t.Fatal("zero-rate blaster should be rejected")
+	}
+}
+
+func TestCPUHogStealsShare(t *testing.T) {
+	k := sim.New(1)
+	cpu := dsrt.NewCPU(k, "host")
+	app := cpu.NewTask("app")
+	hog := &CPUHog{Start: time.Second, Stop: 3 * time.Second}
+	hog.Run(k, cpu)
+	var done time.Duration
+	k.Spawn("app", func(ctx *sim.Ctx) {
+		app.Compute(ctx, 2*time.Second)
+		done = ctx.Now()
+	})
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// App alone 0-1s (1s of work done), contended 1-3s (1s more at
+	// half speed -> finishes at 3s).
+	if done < 2900*time.Millisecond || done > 3100*time.Millisecond {
+		t.Fatalf("app finished at %v, want ~3s", done)
+	}
+}

@@ -1,0 +1,121 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		r    BitRate
+		want string
+	}{
+		{500 * BitPerSec, "500b/s"},
+		{64 * Kbps, "64.00Kb/s"},
+		{40 * Mbps, "40.00Mb/s"},
+		{2500 * Kbps, "2.50Mb/s"},
+		{1 * Gbps, "1.00Gb/s"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		s    ByteSize
+		want string
+	}{
+		{100 * Byte, "100B"},
+		{40 * KB, "40.00KB"},
+		{5 * MB, "5.00MB"},
+		{2 * GB, "2.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	// 100 KB at 8 Mb/s: 800,000 bits / 8,000,000 b/s = 100 ms.
+	got := (8 * Mbps).TimeToSend(100 * KB)
+	if got != 100*time.Millisecond {
+		t.Fatalf("TimeToSend = %v, want 100ms", got)
+	}
+}
+
+func TestTimeToSendZeroRate(t *testing.T) {
+	if d := BitRate(0).TimeToSend(MB); d != 0 {
+		t.Fatalf("zero rate should send instantly, got %v", d)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	// 64 Kb/s for 1 s = 8000 bytes.
+	got := (64 * Kbps).BytesIn(time.Second)
+	if got != 8000 {
+		t.Fatalf("BytesIn = %d, want 8000", got)
+	}
+	if (64 * Kbps).BytesIn(-time.Second) != 0 {
+		t.Fatal("negative duration should give 0 bytes")
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	// 1 MB in 1 s = 8 Mb/s.
+	got := RateOf(MB, time.Second)
+	if math.Abs(float64(got)-float64(8*Mbps)) > 1 {
+		t.Fatalf("RateOf = %v, want 8Mb/s", got)
+	}
+	if RateOf(MB, 0) != 0 {
+		t.Fatal("zero duration should give 0 rate")
+	}
+}
+
+func TestKbitConstant(t *testing.T) {
+	if Kbit != 125 {
+		t.Fatalf("Kbit = %d bytes, want 125", Kbit)
+	}
+	if (8 * Kbit).Bits() != 8000 {
+		t.Fatalf("8 Kbit = %d bits, want 8000", (8 * Kbit).Bits())
+	}
+}
+
+// TimeToSend and RateOf are inverse operations (up to rounding).
+func TestTimeToSendRateOfRoundTrip(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		if kb == 0 || mbps == 0 {
+			return true
+		}
+		size := ByteSize(kb) * KB
+		rate := BitRate(mbps) * Mbps
+		d := rate.TimeToSend(size)
+		back := RateOf(size, d)
+		return math.Abs(float64(back)-float64(rate)) < float64(rate)*1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BytesIn is monotone in duration.
+func TestBytesInMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		r := 10 * Mbps
+		da := time.Duration(a) * time.Microsecond
+		db := time.Duration(b) * time.Microsecond
+		if da > db {
+			da, db = db, da
+		}
+		return r.BytesIn(da) <= r.BytesIn(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
