@@ -11,6 +11,7 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/metrics/... ./internal/sim/...
 
 test:
 	$(GO) test ./... -timeout 1800s

@@ -11,11 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	gq "mpichgq/internal/core"
 	"mpichgq/internal/experiments"
 	"mpichgq/internal/garnet"
+	"mpichgq/internal/metrics"
+	"mpichgq/internal/trace"
 	"mpichgq/internal/trafficgen"
 	"mpichgq/internal/units"
 )
@@ -30,7 +33,23 @@ func main() {
 	contend := flag.Bool("contend", true, "run the UDP contention generator")
 	dur := flag.Duration("dur", 30*time.Second, "run duration (virtual time)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	snapshot := flag.String("snapshot", "", "write a JSON metrics snapshot of the run to this file")
+	from := flag.String("from", "", "replay a JSON metrics snapshot instead of simulating")
 	flag.Parse()
+
+	if *from != "" {
+		f, err := os.Open(*from)
+		if err != nil {
+			panic(err)
+		}
+		snap, err := metrics.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			panic(fmt.Sprintf("dvis: load snapshot %s: %v", *from, err))
+		}
+		replay(snap)
+		return
+	}
 
 	tb := garnet.New(*seed)
 	if *contend {
@@ -65,4 +84,46 @@ func main() {
 	fmt.Printf("frames sent: %d; sender TCP: %d segments, %d retransmits, %d timeouts\n",
 		r.Frames, r.SenderStats.SegmentsSent, r.SenderStats.Retransmits, r.SenderStats.Timeouts)
 	fmt.Print(r.Bandwidth.String())
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			panic(err)
+		}
+		if err := tb.K.Metrics().WriteJSON(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *snapshot)
+	}
+}
+
+// replay renders a run summary from a saved metrics snapshot: the
+// receiver-side bandwidth trace is rebuilt from mpi-recv flight
+// events and the TCP totals come from the exported counters.
+func replay(snap *metrics.Snapshot) {
+	bw := trace.NewBandwidthTrace(time.Second)
+	delivered := 0
+	for _, e := range snap.EventsOfType("mpi-recv") {
+		bw.Add(time.Duration(e.AtNs), units.ByteSize(e.V1))
+		delivered++
+	}
+	first, last := snap.Span()
+	fmt.Printf("replaying snapshot taken at t=%v (events span [%v, %v], %d overwritten)\n",
+		time.Duration(snap.TakenAtNs), first, last, snap.EventsOverwritten)
+	var segs, retx, tmo float64
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "tcp_segments_sent_total":
+			segs += m.Value
+		case "tcp_retransmits_total":
+			retx += m.Value
+		case "tcp_timeouts_total":
+			tmo += m.Value
+		}
+	}
+	fmt.Printf("messages delivered: %d (%v)\n", delivered, bw.Total())
+	fmt.Printf("TCP (all nodes): %.0f segments, %.0f retransmits, %.0f timeouts\n", segs, retx, tmo)
+	fmt.Print(bw.Series("snapshot mpi-recv bandwidth").String())
 }

@@ -6,11 +6,19 @@
 // would have.
 //
 //	gqctl [-at 5s,15s,25s]
+//	gqctl metrics [-format prom|json] [-until 25s]
+//	gqctl events [-type tcp-segment] [-subject prem-src] [-n 50]
+//
+// The metrics and events subcommands run the same scenario and then
+// dump the observability layer: metrics renders the registry in
+// Prometheus text or JSON snapshot format; events lists the flight
+// recorder (see docs/observability.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -18,12 +26,23 @@ import (
 	"mpichgq/internal/dsrt"
 	"mpichgq/internal/gara"
 	"mpichgq/internal/garnet"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/trace"
 	"mpichgq/internal/units"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "metrics":
+			metricsCmd(os.Args[2:])
+			return
+		case "events":
+			eventsCmd(os.Args[2:])
+			return
+		}
+	}
 	atFlag := flag.String("at", "5s,15s,25s", "comma-separated virtual times to dump state at")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
@@ -116,5 +135,98 @@ func fmtWindow(r *gara.Reservation) string {
 func must(err error) {
 	if err != nil {
 		panic(err)
+	}
+}
+
+// scenario issues the demo reservations quietly; the metrics and
+// events subcommands run it to have observable state to dump.
+func scenario(tb *garnet.Testbed) {
+	cpu := dsrt.NewCPU(tb.K, "prem-src-cpu")
+	task := cpu.NewTask("app")
+	dpss := gara.NewDPSS(tb.K, "dpss", 100*units.Mbps)
+	flow := diffserv.MatchHostPair(tb.PremSrc.Addr(), tb.PremDst.Addr(), netsim.ProtoTCP)
+	_, err := tb.Gara.Reserve(gara.Spec{
+		Type: gara.ResourceNetwork, Flow: flow, Bandwidth: 40 * units.Mbps,
+	})
+	must(err)
+	_, err = tb.Gara.Reserve(gara.Spec{
+		Type: gara.ResourceNetwork, Flow: flow, Bandwidth: 30 * units.Mbps,
+		Start: 10 * time.Second, Duration: 10 * time.Second,
+	})
+	must(err)
+	_, err = tb.Gara.CoReserve(
+		gara.Spec{Type: gara.ResourceCPU, Task: task, Fraction: 0.8},
+		gara.Spec{Type: gara.ResourceStorage, Store: dpss, ReadRate: 60 * units.Mbps},
+	)
+	must(err)
+}
+
+// metricsCmd implements "gqctl metrics": run the scenario and dump
+// the metrics registry.
+func metricsCmd(args []string) {
+	fs := flag.NewFlagSet("gqctl metrics", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	until := fs.Duration("until", 25*time.Second, "virtual time to run the scenario for")
+	format := fs.String("format", "prom", "output format: prom (Prometheus text) or json (snapshot)")
+	must(fs.Parse(args))
+	tb := garnet.New(*seed)
+	scenario(tb)
+	must(tb.K.RunUntil(*until))
+	reg := tb.K.Metrics()
+	switch *format {
+	case "prom":
+		must(reg.WritePrometheus(os.Stdout))
+	case "json":
+		must(reg.WriteJSON(os.Stdout))
+	default:
+		fmt.Fprintf(os.Stderr, "gqctl metrics: unknown format %q (want prom or json)\n", *format)
+		os.Exit(2)
+	}
+}
+
+// eventsCmd implements "gqctl events": run the scenario and list the
+// flight recorder.
+func eventsCmd(args []string) {
+	fs := flag.NewFlagSet("gqctl events", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	until := fs.Duration("until", 25*time.Second, "virtual time to run the scenario for")
+	typ := fs.String("type", "", "only events of this type (e.g. reservation-state)")
+	subject := fs.String("subject", "", "only events with this subject")
+	n := fs.Int("n", 0, "show only the last N matching events (0 = all)")
+	must(fs.Parse(args))
+	var want metrics.EventType
+	if *typ != "" {
+		t, ok := metrics.ParseEventType(*typ)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gqctl events: unknown event type %q\n", *typ)
+			os.Exit(2)
+		}
+		want = t
+	}
+	tb := garnet.New(*seed)
+	scenario(tb)
+	must(tb.K.RunUntil(*until))
+	rec := tb.K.Metrics().Events()
+	var rows []metrics.Event
+	for _, e := range rec.Snapshot() {
+		if want != metrics.EvNone && e.Type != want {
+			continue
+		}
+		if *subject != "" && e.Subject != *subject {
+			continue
+		}
+		rows = append(rows, e)
+	}
+	if *n > 0 && len(rows) > *n {
+		rows = rows[len(rows)-*n:]
+	}
+	t := trace.Table{Headers: []string{"seq", "t", "type", "subject", "v1", "v2", "v3"}}
+	for _, e := range rows {
+		t.Add(fmt.Sprint(e.Seq), e.At.String(), e.Type.String(), e.Subject,
+			fmt.Sprint(e.V1), fmt.Sprint(e.V2), fmt.Sprint(e.V3))
+	}
+	fmt.Print(t.String())
+	if dropped := rec.Overwritten(); dropped > 0 {
+		fmt.Printf("(%d older events overwritten; ring capacity %d)\n", dropped, rec.Capacity())
 	}
 }

@@ -3,6 +3,7 @@ package diffserv
 import (
 	"fmt"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
 )
@@ -109,6 +110,16 @@ type Rule struct {
 	matchedPkts uint64
 	droppedPkts uint64
 	remarked    uint64
+
+	// Metric handles, shared per DSCP class across rules; attached by
+	// Classifier.AddRule/InsertRule (registry dedup makes every rule
+	// marking the same class share one series).
+	markLabel string
+	mConform  *metrics.Counter
+	mExceed   *metrics.Counter
+	mDropped  *metrics.Counter
+	mRemarked *metrics.Counter
+	rec       *metrics.Recorder
 }
 
 // RuleStats holds cumulative per-rule counters.
@@ -137,14 +148,31 @@ func NewClassifier(k *sim.Kernel) *Classifier { return &Classifier{k: k} }
 // AddRule appends a rule (lowest precedence so far) and returns it so
 // the caller can inspect stats or remove it later.
 func (c *Classifier) AddRule(r *Rule) *Rule {
+	c.attachMetrics(r)
 	c.rules = append(c.rules, r)
 	return r
 }
 
 // InsertRule places a rule at the front (highest precedence).
 func (c *Classifier) InsertRule(r *Rule) *Rule {
+	c.attachMetrics(r)
 	c.rules = append([]*Rule{r}, c.rules...)
 	return r
+}
+
+// attachMetrics resolves the rule's per-DSCP metric handles.
+func (c *Classifier) attachMetrics(r *Rule) {
+	reg := c.k.Metrics()
+	r.markLabel = r.Mark.String()
+	r.rec = reg.Events()
+	r.mConform = reg.Counter("diffserv_conform_packets_total",
+		"policed packets within the token-bucket profile", "dscp", r.markLabel)
+	r.mExceed = reg.Counter("diffserv_exceed_packets_total",
+		"policed packets outside the token-bucket profile", "dscp", r.markLabel)
+	r.mDropped = reg.Counter("diffserv_police_drops_total",
+		"out-of-profile packets dropped by the policer", "dscp", r.markLabel)
+	r.mRemarked = reg.Counter("diffserv_remarked_packets_total",
+		"out-of-profile packets demoted to best effort", "dscp", r.markLabel)
 }
 
 // RemoveRule deletes r from the rule list; it reports whether r was
@@ -169,16 +197,24 @@ func (c *Classifier) Filter(p *netsim.Packet) *netsim.Packet {
 			continue
 		}
 		r.matchedPkts++
-		if r.Police != nil && !r.Police.Conform(p.Size) {
-			switch r.Exceed {
-			case ExceedDrop:
-				r.droppedPkts++
-				return nil
-			case ExceedRemark:
-				r.remarked++
-				p.DSCP = netsim.DSCPBestEffort
-				return p
+		if r.Police != nil {
+			if !r.Police.Conform(p.Size) {
+				r.mExceed.Inc()
+				r.rec.Emit(metrics.EvTokenBucketExceed, r.markLabel,
+					int64(p.Size), int64(r.Exceed), 0)
+				switch r.Exceed {
+				case ExceedDrop:
+					r.droppedPkts++
+					r.mDropped.Inc()
+					return nil
+				case ExceedRemark:
+					r.remarked++
+					r.mRemarked.Inc()
+					p.DSCP = netsim.DSCPBestEffort
+					return p
+				}
 			}
+			r.mConform.Inc()
 		}
 		p.DSCP = r.Mark
 		return p

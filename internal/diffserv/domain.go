@@ -47,8 +47,17 @@ func (d *Domain) EnableEF(ifc *netsim.Iface, efCap, beCap units.ByteSize) {
 	if d.efEnabled[ifc] {
 		return
 	}
-	ifc.SetQueue(NewPrioScheduler(efCap, beCap))
+	s := NewPrioScheduler(efCap, beCap)
+	ifc.SetQueue(s)
 	d.efEnabled[ifc] = true
+	label := ifc.String()
+	reg := d.k.Metrics()
+	reg.GaugeFunc("diffserv_ef_queue_packets",
+		"packets queued in the expedited band",
+		func() float64 { return float64(s.EFLen()) }, "iface", label)
+	reg.GaugeFunc("diffserv_be_queue_packets",
+		"packets queued in the best-effort band",
+		func() float64 { return float64(s.BELen()) }, "iface", label)
 }
 
 // EnableEFAll enables EF priority queueing on every interface of every

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 )
 
@@ -35,6 +36,10 @@ type CPU struct {
 	name     string
 	capacity float64
 	tasks    []*Task
+
+	mComputations *metrics.Counter
+	mDeadlineMiss *metrics.Counter
+	rec           *metrics.Recorder
 }
 
 // NewCPU returns a single-processor CPU named name on kernel k.
@@ -49,7 +54,15 @@ func NewSMP(k *sim.Kernel, name string, n int) *CPU {
 	if n < 1 {
 		panic("dsrt: SMP needs at least one processor")
 	}
-	return &CPU{k: k, name: name, capacity: float64(n)}
+	reg := k.Metrics()
+	return &CPU{
+		k: k, name: name, capacity: float64(n),
+		mComputations: reg.Counter("dsrt_computations_total",
+			"completed Compute calls", "cpu", name),
+		mDeadlineMiss: reg.Counter("dsrt_deadline_misses_total",
+			"reserved computations that overran their promised rate", "cpu", name),
+		rec: reg.Events(),
+	}
 }
 
 // Name returns the CPU's name.
@@ -72,6 +85,10 @@ type Task struct {
 	lastUpdate time.Duration
 	timer      *sim.Timer
 	done       *sim.Cond
+
+	// Deadline accounting for the current Compute call.
+	computeStart time.Duration
+	computeWork  float64 // work-seconds requested
 
 	usedSeconds float64 // cumulative CPU-seconds consumed
 }
@@ -128,6 +145,8 @@ func (t *Task) Compute(ctx *sim.Ctx, work time.Duration) {
 	t.computing = true
 	t.remaining = work.Seconds()
 	t.lastUpdate = t.cpu.k.Now()
+	t.computeStart = t.lastUpdate
+	t.computeWork = t.remaining
 	t.cpu.recompute()
 	t.done.Wait(ctx)
 }
@@ -259,6 +278,20 @@ func (t *Task) finish() {
 	if t.timer != nil {
 		t.timer.Cancel()
 		t.timer = nil
+	}
+	t.cpu.mComputations.Inc()
+	// A reservation of fraction f promises the work completes within
+	// work/f wall time; anything beyond (plus 1% scheduling slack) is
+	// a soft-deadline miss — DSRT's QoS violation signal.
+	if t.reserved > 0 && t.computeWork > 0 {
+		elapsed := (t.cpu.k.Now() - t.computeStart).Seconds()
+		allowed := t.computeWork / t.reserved * 1.01
+		if elapsed > allowed {
+			t.cpu.mDeadlineMiss.Inc()
+			t.cpu.rec.Emit(metrics.EvDeadlineMiss, t.name,
+				int64(elapsed*float64(time.Second)),
+				int64(allowed*float64(time.Second)), 0)
+		}
 	}
 	t.done.Signal()
 }

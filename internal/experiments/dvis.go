@@ -7,6 +7,7 @@ import (
 	gq "mpichgq/internal/core"
 	"mpichgq/internal/garnet"
 	"mpichgq/internal/globusio"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/mpi"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/tcpsim"
@@ -117,9 +118,16 @@ func (d *DVis) Run(tb *garnet.Testbed) DVisResult {
 		d.AgentMutate(agent)
 	}
 	bw := trace.NewBandwidthTrace(d.TraceBucket)
-	seq := &trace.SeqTrace{}
 	frames := 0
 	interval := time.Second / time.Duration(d.FPS)
+	// The TCP sequence trace is reconstructed from the flight
+	// recorder's tcp-segment events after the run. Size the ring for a
+	// multi-second run with background blast traffic, and note where
+	// this run's events begin.
+	rec := tb.K.Metrics().Events()
+	rec.SetCapacity(1 << 16)
+	var evStart uint64
+	var senderNode string
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		pc, err := r.PairComm(ctx, 1-r.ID())
 		if err != nil {
@@ -135,10 +143,11 @@ func (d *DVis) Run(tb *garnet.Testbed) DVisResult {
 		}
 		peer := 1 - r.RankIn(pc)
 		if r.ID() == 0 {
-			// Sender: hook the sequence trace onto the data conn.
-			if conn := r.Conn(1); conn != nil {
-				conn.Conn().TraceSend = seq.Record
-			}
+			// Sender: the sequence trace starts here — setup traffic
+			// (connection establishment, PairComm handshake) stays out
+			// of the figure.
+			evStart = rec.Seq()
+			senderNode = r.Host().Node.Name()
 			if d.SenderEvents != nil {
 				ctx.SpawnChild("dvis-events", func(ectx *sim.Ctx) {
 					d.SenderEvents(ectx, agent, r, pc)
@@ -171,6 +180,12 @@ func (d *DVis) Run(tb *garnet.Testbed) DVisResult {
 	})
 	if err := tb.K.RunUntil(d.Duration + time.Second); err != nil {
 		panic(fmt.Sprintf("experiments: dvis run: %v", err))
+	}
+	seq := &trace.SeqTrace{}
+	for _, e := range rec.Since(evStart) {
+		if e.Type == metrics.EvTCPSegment && e.Subject == senderNode {
+			seq.Record(e.At, e.V1, units.ByteSize(e.V2), e.V3 != 0)
+		}
 	}
 	res := DVisResult{
 		Offered:   d.OfferedRate(),

@@ -6,6 +6,7 @@ import (
 
 	gq "mpichgq/internal/core"
 	"mpichgq/internal/garnet"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/mpi"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/tcpsim"
@@ -17,6 +18,10 @@ import (
 type PingPongPoint struct {
 	Reservation units.BitRate
 	Throughput  units.BitRate // one-way
+	// Policer counts for the run, read from the diffserv metrics:
+	// premium-marked packets within/outside the token-bucket profile
+	// and out-of-profile drops.
+	Conform, Exceed, Dropped int64
 }
 
 // Figure5Result holds, per message size, the throughput-vs-reservation
@@ -63,17 +68,23 @@ func RunFigure5(cfg Config) Figure5Result {
 	dur := cfg.scale(20 * time.Second)
 	for _, size := range res.MessageSizes {
 		for _, rsv := range Figure5Reservations {
-			tput := pingPongThroughput(cfg, size, rsv, true, dur)
-			res.Curves[size] = append(res.Curves[size], PingPongPoint{Reservation: rsv, Throughput: tput})
+			p := pingPongThroughput(cfg, size, rsv, true, dur)
+			p.Reservation = rsv
+			res.Curves[size] = append(res.Curves[size], p)
 		}
-		res.NoContention[size] = pingPongThroughput(cfg, size, 0, false, dur)
+		res.NoContention[size] = pingPongThroughput(cfg, size, 0, false, dur).Throughput
 	}
 	return res
 }
 
 // pingPongThroughput measures one-way ping-pong throughput for one
 // (message size, reservation) point. reservation 0 = best effort.
-func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.BitRate, contended bool, dur time.Duration) units.BitRate {
+//
+// One-way goodput is read from the metrics layer rather than counted
+// by hand: rank 0 receives exactly one msgSize reply per completed
+// round trip, so the delta of its mpi_recv_bytes_total counter on the
+// pair comm over the measurement window is the one-way byte count.
+func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.BitRate, contended bool, dur time.Duration) PingPongPoint {
 	tb := garnet.New(cfg.Seed)
 	if contended {
 		blast(tb, 0, 0)
@@ -83,7 +94,8 @@ func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.Bi
 	// The x-axis of Figure 5 is the raw network reservation, so
 	// disable the agent's overhead scaling for this experiment.
 	agent.OverheadFactor = 1.0
-	var oneWayBytes units.ByteSize
+	var recvBytes *metrics.Counter
+	var baseline int64
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		pc, err := r.PairComm(ctx, 1-r.ID())
 		if err != nil {
@@ -100,6 +112,12 @@ func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.Bi
 			}
 		}
 		peer := 1 - r.RankIn(pc)
+		if r.ID() == 0 {
+			// Sample the baseline here so the PairComm handshake (and
+			// any setup traffic) is excluded from the measurement.
+			recvBytes = r.RecvBytesCounter(pc)
+			baseline = recvBytes.Value()
+		}
 		for ctx.Now() < dur {
 			if r.ID() == 0 {
 				if err := r.Send(ctx, pc, peer, 0, msgSize, nil); err != nil {
@@ -108,7 +126,6 @@ func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.Bi
 				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
 					return
 				}
-				oneWayBytes += msgSize
 			} else {
 				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
 					return
@@ -122,7 +139,18 @@ func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.Bi
 	if err := tb.K.RunUntil(dur); err != nil {
 		panic(fmt.Sprintf("experiments: figure 5: %v", err))
 	}
-	return units.RateOf(oneWayBytes, dur)
+	var oneWayBytes units.ByteSize
+	if recvBytes != nil {
+		oneWayBytes = units.ByteSize(recvBytes.Value() - baseline)
+	}
+	reg := tb.K.Metrics()
+	conform, _ := reg.CounterValue("diffserv_conform_packets_total", "dscp", "EF")
+	exceed, _ := reg.CounterValue("diffserv_exceed_packets_total", "dscp", "EF")
+	dropped, _ := reg.CounterValue("diffserv_police_drops_total", "dscp", "EF")
+	return PingPongPoint{
+		Throughput: units.RateOf(oneWayBytes, dur),
+		Conform:    conform, Exceed: exceed, Dropped: dropped,
+	}
 }
 
 // Figure5Table renders the result like the paper's plot, one row per

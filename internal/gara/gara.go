@@ -7,6 +7,7 @@ import (
 
 	"mpichgq/internal/diffserv"
 	"mpichgq/internal/dsrt"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/units"
 )
@@ -128,11 +129,27 @@ type Gara struct {
 	k        *sim.Kernel
 	managers map[ResourceType]ResourceManager
 	nextID   uint64
+
+	mTransitions [4]*metrics.Counter // indexed by State
+	mRejects     *metrics.Counter
+	mReserved    *metrics.Counter
+	rec          *metrics.Recorder
 }
 
 // New returns a Gara with no managers registered.
 func New(k *sim.Kernel) *Gara {
-	return &Gara{k: k, managers: make(map[ResourceType]ResourceManager)}
+	g := &Gara{k: k, managers: make(map[ResourceType]ResourceManager)}
+	reg := k.Metrics()
+	for s := StatePending; s <= StateCancelled; s++ {
+		g.mTransitions[s] = reg.Counter("gara_state_transitions_total",
+			"reservation lifecycle transitions", "state", s.String())
+	}
+	g.mRejects = reg.Counter("gara_admission_rejects_total",
+		"reservation requests refused by admission control")
+	g.mReserved = reg.Counter("gara_reservations_total",
+		"reservations admitted")
+	g.rec = reg.Events()
+	return g
 }
 
 // Register installs a resource manager. Only certain elements of the
@@ -191,6 +208,10 @@ func (r *Reservation) OnChange(fn func(*Reservation, State)) {
 
 func (r *Reservation) transition(s State) {
 	r.state = s
+	if s >= StatePending && s <= StateCancelled {
+		r.g.mTransitions[s].Inc()
+	}
+	r.g.rec.Emit(metrics.EvReservationState, s.String(), int64(r.id), 0, 0)
 	for _, fn := range r.callbacks {
 		fn(r, s)
 	}
@@ -207,18 +228,23 @@ func (g *Gara) Reserve(spec Spec) (*Reservation, error) {
 	r := &Reservation{g: g, id: g.nextID, spec: spec, rm: rm}
 	r.start, r.end = spec.window(g.k.Now())
 	if err := rm.Admit(r); err != nil {
+		g.mRejects.Inc()
+		g.rec.Emit(metrics.EvAdmissionReject, string(spec.Type), 0, 0, 0)
 		return nil, err
 	}
+	g.mReserved.Inc()
 	if r.start <= g.k.Now() {
 		if err := rm.Activate(r); err != nil {
 			rm.Release(r)
 			return nil, err
 		}
-		r.state = StateActive
+		// A fresh handle has no callbacks yet, so transition only
+		// records the state and its metrics.
+		r.transition(StateActive)
 		r.armEnd()
 		return r, nil
 	}
-	r.state = StatePending
+	r.transition(StatePending)
 	r.startTimer = g.k.At(r.start, sim.PrioNormal, func() {
 		r.startTimer = nil
 		if r.state != StatePending {

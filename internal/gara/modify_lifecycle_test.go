@@ -1,0 +1,122 @@
+package gara
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/metrics"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// stateEvents returns the reservation-state flight-recorder subjects
+// emitted for reservation id, in emission order.
+func stateEvents(k *sim.Kernel, id uint64) []string {
+	var out []string
+	for _, e := range k.Metrics().Events().Snapshot() {
+		if e.Type == metrics.EvReservationState && e.V1 == int64(id) {
+			out = append(out, e.Subject)
+		}
+	}
+	return out
+}
+
+func wantStates(t *testing.T, k *sim.Kernel, id uint64, want ...string) {
+	t.Helper()
+	got := stateEvents(k, id)
+	if len(got) != len(want) {
+		t.Fatalf("state events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("state events = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestModifyWhilePending(t *testing.T) {
+	r := newRig()
+	spec := r.netSpec(2 * units.Mbps)
+	spec.Start = 10 * time.Second
+	spec.Duration = 5 * time.Second
+	res, err := r.g.Reserve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStates(t, r.k, res.ID(), "pending")
+
+	bigger := r.netSpec(4 * units.Mbps)
+	bigger.Start = 10 * time.Second
+	bigger.Duration = 5 * time.Second
+	if err := res.Modify(bigger); err != nil {
+		t.Fatalf("modify while pending: %v", err)
+	}
+	if res.State() != StatePending {
+		t.Fatalf("state after pending modify = %v, want pending", res.State())
+	}
+	if res.Spec().Bandwidth != 4*units.Mbps {
+		t.Fatalf("spec bandwidth = %v, want 4Mb/s", res.Spec().Bandwidth)
+	}
+	// Modify does not transition; activation still happens at start.
+	wantStates(t, r.k, res.ID(), "pending")
+	r.k.RunUntil(11 * time.Second)
+	if res.State() != StateActive {
+		t.Fatalf("state at t=11s = %v, want active", res.State())
+	}
+	wantStates(t, r.k, res.ID(), "pending", "active")
+}
+
+func TestModifyWhileActive(t *testing.T) {
+	r := newRig()
+	res, err := r.g.Reserve(r.netSpec(2 * units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStates(t, r.k, res.ID(), "active")
+	if err := res.Modify(r.netSpec(3 * units.Mbps)); err != nil {
+		t.Fatalf("modify while active: %v", err)
+	}
+	if res.State() != StateActive {
+		t.Fatalf("state after active modify = %v, want active", res.State())
+	}
+	if res.Spec().Bandwidth != 3*units.Mbps {
+		t.Fatalf("spec bandwidth = %v, want 3Mb/s", res.Spec().Bandwidth)
+	}
+	// An in-place modify is not a lifecycle transition.
+	wantStates(t, r.k, res.ID(), "active")
+}
+
+func TestModifyAfterExpiry(t *testing.T) {
+	r := newRig()
+	spec := r.netSpec(2 * units.Mbps)
+	spec.Start = time.Second
+	spec.Duration = 2 * time.Second
+	res, err := r.g.Reserve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunUntil(4 * time.Second)
+	if res.State() != StateExpired {
+		t.Fatalf("state at t=4s = %v, want expired", res.State())
+	}
+	if err := res.Modify(r.netSpec(units.Mbps)); err != ErrNotModifiable {
+		t.Fatalf("modify after expiry = %v, want ErrNotModifiable", err)
+	}
+	wantStates(t, r.k, res.ID(), "pending", "active", "expired")
+}
+
+func TestModifyAfterCancel(t *testing.T) {
+	r := newRig()
+	res, err := r.g.Reserve(r.netSpec(2 * units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Cancel()
+	if err := res.Modify(r.netSpec(units.Mbps)); err != ErrNotModifiable {
+		t.Fatalf("modify after cancel = %v, want ErrNotModifiable", err)
+	}
+	wantStates(t, r.k, res.ID(), "active", "cancelled")
+	// A failed modify emits nothing further and Cancel stays idempotent.
+	res.Cancel()
+	wantStates(t, r.k, res.ID(), "active", "cancelled")
+}

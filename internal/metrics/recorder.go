@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType identifies a flight-recorder event.
+type EventType uint8
+
+// Flight-recorder event types. V1..V3 carry type-specific payloads
+// documented per constant; Subject identifies the emitting entity
+// (an interface, node, rank, or reservation state name) and must be
+// a pre-interned string so Emit stays allocation-free.
+const (
+	// EvNone is the zero value; never emitted.
+	EvNone EventType = iota
+	// EvPacketDropEgress: packet rejected by an egress queue.
+	// Subject=iface, V1=size bytes, V2=DSCP.
+	EvPacketDropEgress
+	// EvPacketDropIngress: packet rejected by an ingress filter
+	// (policer). Subject=iface, V1=size bytes, V2=DSCP.
+	EvPacketDropIngress
+	// EvNoRoute: packet sent toward an address with no route.
+	// Subject=node, V1=destination addr, V2=size bytes.
+	EvNoRoute
+	// EvTokenBucketExceed: a policed packet exceeded its token
+	// bucket. Subject=DSCP class, V1=size bytes, V2=exceed action
+	// (0 drop, 1 remark).
+	EvTokenBucketExceed
+	// EvReservationState: a GARA reservation changed state.
+	// Subject=new state name, V1=reservation ID.
+	EvReservationState
+	// EvAdmissionReject: admission control refused a reservation.
+	// Subject=resource type, V1=0.
+	EvAdmissionReject
+	// EvTCPSegment: a data segment was transmitted. Subject=node,
+	// V1=sequence number, V2=length bytes, V3=1 if a retransmit.
+	EvTCPSegment
+	// EvTCPRetransmit: a segment was retransmitted. Subject=node,
+	// V1=sequence number, V2=length bytes.
+	EvTCPRetransmit
+	// EvTCPTimeout: a retransmission timer fired. Subject=node,
+	// V1=oldest unacked sequence, V2=new RTO in ns.
+	EvTCPTimeout
+	// EvDeadlineMiss: a DSRT task's compute phase overran the time
+	// its CPU reservation promised. Subject=task, V1=elapsed ns,
+	// V2=allowed ns.
+	EvDeadlineMiss
+	// EvMPIRecv: a message was delivered to an MPI receiver.
+	// Subject=rank, V1=payload bytes, V2=communicator context ID,
+	// V3=one-way latency in ns (0 if unknown).
+	EvMPIRecv
+	evSentinel // keep last
+)
+
+var eventTypeNames = [...]string{
+	EvNone:              "none",
+	EvPacketDropEgress:  "packet-drop-egress",
+	EvPacketDropIngress: "packet-drop-ingress",
+	EvNoRoute:           "no-route",
+	EvTokenBucketExceed: "token-bucket-exceed",
+	EvReservationState:  "reservation-state",
+	EvAdmissionReject:   "admission-reject",
+	EvTCPSegment:        "tcp-segment",
+	EvTCPRetransmit:     "tcp-retransmit",
+	EvTCPTimeout:        "tcp-timeout",
+	EvDeadlineMiss:      "deadline-miss",
+	EvMPIRecv:           "mpi-recv",
+}
+
+// String returns the event type's wire name (used by exporters).
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) && eventTypeNames[t] != "" {
+		return eventTypeNames[t]
+	}
+	return "unknown"
+}
+
+// ParseEventType maps a wire name back to its EventType.
+func ParseEventType(s string) (EventType, bool) {
+	for t, name := range eventTypeNames {
+		if name == s && EventType(t) != EvNone {
+			return EventType(t), true
+		}
+	}
+	return EvNone, false
+}
+
+// Event is one flight-recorder record. It is a plain value — no
+// pointers beyond the interned Subject string — so the ring buffer
+// is a flat allocation the GC never scans per event.
+type Event struct {
+	// Seq is the global emission sequence number (monotonic from 0).
+	Seq uint64
+	// At is the sim-kernel time of emission.
+	At time.Duration
+	// Type discriminates the payload.
+	Type EventType
+	// Subject names the emitting entity.
+	Subject string
+	// V1, V2, V3 are type-specific payload values.
+	V1, V2, V3 int64
+}
+
+// DefaultRecorderCapacity is the ring size a fresh Registry starts
+// with. Long experiment runs raise it via SetCapacity.
+const DefaultRecorderCapacity = 16384
+
+// Recorder is a fixed-capacity ring buffer of Events. Emit is
+// allocation-free; when the ring is full the oldest events are
+// overwritten (Overwritten reports how many).
+type Recorder struct {
+	mu    sync.Mutex
+	clock func() time.Duration
+	buf   []Event
+	next  uint64 // total events ever emitted
+	first uint64 // seq of the oldest retained event
+}
+
+func newRecorder(clock func() time.Duration, capacity int) *Recorder {
+	return &Recorder{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Emit appends an event stamped with the current sim time. subject
+// must be an interned string (a constant or a field computed once at
+// setup); v1..v3 are type-specific.
+func (r *Recorder) Emit(t EventType, subject string, v1, v2, v3 int64) {
+	now := r.clock()
+	r.mu.Lock()
+	if r.next-r.first == uint64(len(r.buf)) {
+		r.first++ // overwrite the oldest
+	}
+	r.buf[r.next%uint64(len(r.buf))] = Event{
+		Seq: r.next, At: now, Type: t, Subject: subject, V1: v1, V2: v2, V3: v3,
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Seq returns the number of events emitted so far — i.e. the Seq the
+// next event will carry. Capture it before a run and pass it to
+// Since to scope a query to that run.
+func (r *Recorder) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Len returns how many events the ring currently retains.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.next - r.first)
+}
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Overwritten returns how many events have been evicted by
+// wraparound.
+func (r *Recorder) Overwritten() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.first
+}
+
+// SetCapacity resizes the ring, retaining the most recent events.
+func (r *Recorder) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.retained()
+	r.buf = make([]Event, n)
+	if len(old) > n {
+		old = old[len(old)-n:]
+	}
+	for _, e := range old {
+		r.buf[e.Seq%uint64(n)] = e
+	}
+	r.first = r.next - uint64(len(old))
+}
+
+// retained returns the live events oldest-first. Caller holds mu.
+func (r *Recorder) retained() []Event {
+	out := make([]Event, 0, r.next-r.first)
+	for i := r.first; i < r.next; i++ {
+		out = append(out, r.buf[i%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Snapshot returns every retained event, oldest first.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retained()
+}
+
+// Since returns retained events with Seq >= seq, oldest first. If
+// older events matching seq were already overwritten they are
+// silently absent — size the ring (SetCapacity) for the run.
+func (r *Recorder) Since(seq uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.retained()
+	i := sortSearchEvents(all, seq)
+	return all[i:]
+}
+
+// sortSearchEvents finds the first index with Seq >= seq (events are
+// seq-ordered).
+func sortSearchEvents(evs []Event, seq uint64) int {
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if evs[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

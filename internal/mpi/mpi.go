@@ -17,6 +17,7 @@ import (
 
 	"mpichgq/internal/dsrt"
 	"mpichgq/internal/globusio"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/tcpsim"
@@ -197,6 +198,58 @@ type Rank struct {
 	pairEpoch  map[[3]int]int
 	worldComm  *Comm
 	deadPeers  map[int]bool
+
+	// cm caches per-communicator metric handles, keyed by context id.
+	cm map[int]*commMetrics
+}
+
+// commMetrics bundles the handles for one (rank, communicator) pair.
+// Resolved lazily on first traffic; the underlying series are shared
+// through the registry, so an experiment can read them back with
+// Registry.CounterValue using the same name and labels.
+type commMetrics struct {
+	subject   string // interned "rank-N" event subject
+	sentMsgs  *metrics.Counter
+	sentBytes *metrics.Counter
+	recvMsgs  *metrics.Counter
+	recvBytes *metrics.Counter
+	latency   *metrics.Histogram
+}
+
+// commMetrics returns (creating on first use) the handles for ctxID.
+func (r *Rank) commMetrics(ctxID int) *commMetrics {
+	if m := r.cm[ctxID]; m != nil {
+		return m
+	}
+	reg := r.job.k.Metrics()
+	rank := fmt.Sprintf("%d", r.id)
+	comm := fmt.Sprintf("%d", ctxID)
+	m := &commMetrics{
+		subject: r.task.Name(),
+		sentMsgs: reg.Counter("mpi_sent_messages_total",
+			"point-to-point messages sent", "rank", rank, "comm", comm),
+		sentBytes: reg.Counter("mpi_sent_bytes_total",
+			"point-to-point payload bytes sent", "rank", rank, "comm", comm),
+		recvMsgs: reg.Counter("mpi_recv_messages_total",
+			"point-to-point messages received", "rank", rank, "comm", comm),
+		recvBytes: reg.Counter("mpi_recv_bytes_total",
+			"point-to-point payload bytes received", "rank", rank, "comm", comm),
+		latency: reg.Histogram("mpi_message_latency_seconds",
+			"send-to-receive one-way message latency",
+			metrics.DefLatencyBuckets, "rank", rank, "comm", comm),
+	}
+	if r.cm == nil {
+		r.cm = make(map[int]*commMetrics)
+	}
+	r.cm[ctxID] = m
+	return m
+}
+
+// RecvBytesCounter exposes the rank's received-payload-bytes counter
+// on comm, letting harnesses (e.g. the Figure 5 throughput sweep)
+// measure goodput straight from the metrics layer.
+func (r *Rank) RecvBytesCounter(comm *Comm) *metrics.Counter {
+	return r.commMetrics(comm.ctxID).recvBytes
 }
 
 func newRank(j *Job, id int, h *Host) *Rank {

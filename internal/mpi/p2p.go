@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"mpichgq/internal/globusio"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/units"
 )
@@ -48,6 +50,9 @@ type wireMsg struct {
 	size units.ByteSize
 	data any
 	seq  uint64 // rendezvous transaction id
+	// sentAt is the sim time Send was called, carried so the receiver
+	// can observe one-way latency.
+	sentAt time.Duration
 }
 
 // envelope is a message known to the receiver (arrived eagerly, or
@@ -63,6 +68,7 @@ type envelope struct {
 	rdvFrom int       // global rank to send CTS to
 	matched bool      // a posted recv claimed it
 	ready   *sim.Cond // signalled when data arrives (rendezvous)
+	sentAt  time.Duration
 }
 
 // postedRecv is a blocked or nonblocking receive awaiting a match.
@@ -129,13 +135,13 @@ func (r *Rank) readerLoop(ctx *sim.Ctx, peer int, conn *globusio.IO) {
 			r.received++
 			r.deliver(&envelope{
 				src: m.src, ctx: m.ctx, tag: m.tag,
-				size: m.size, data: m.data, arrived: true,
+				size: m.size, data: m.data, arrived: true, sentAt: m.sentAt,
 			})
 		case kindRTS:
 			env := &envelope{
 				src: m.src, ctx: m.ctx, tag: m.tag,
 				size: m.size, rdvSeq: m.seq, rdvFrom: m.src,
-				ready: sim.NewCond(r.job.k),
+				ready: sim.NewCond(r.job.k), sentAt: m.sentAt,
 			}
 			r.deliver(env)
 		case kindCTS:
@@ -245,11 +251,15 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 	if err != nil {
 		return err
 	}
+	now := r.job.k.Now()
+	cm := r.commMetrics(comm.ctxID)
 	if gdest == r.id {
 		// Self-send: deliver directly.
 		r.sent++
 		r.received++
-		r.deliver(&envelope{src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data, arrived: true})
+		cm.sentMsgs.Inc()
+		cm.sentBytes.Add(int64(n))
+		r.deliver(&envelope{src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data, arrived: true, sentAt: now})
 		return nil
 	}
 	conn := r.conns[gdest]
@@ -257,9 +267,11 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 		return fmt.Errorf("mpi: rank %d has no connection to %d", r.id, gdest)
 	}
 	r.sent++
+	cm.sentMsgs.Inc()
+	cm.sentBytes.Add(int64(n))
 	if n <= r.job.opts.EagerThreshold {
 		return conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
-			kind: kindEager, src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data,
+			kind: kindEager, src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data, sentAt: now,
 		})
 	}
 	// Rendezvous: RTS, wait for CTS, then bulk data.
@@ -268,7 +280,7 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 	pend := &rdvSend{peer: gdest, cond: sim.NewCond(r.job.k)}
 	r.rdvPending[seq] = pend
 	if err := conn.WriteMsg(ctx, envelopeSize, wireMsg{
-		kind: kindRTS, src: r.id, ctx: comm.ctxID, tag: tag, size: n, seq: seq,
+		kind: kindRTS, src: r.id, ctx: comm.ctxID, tag: tag, size: n, seq: seq, sentAt: now,
 	}); err != nil {
 		delete(r.rdvPending, seq)
 		return err
@@ -308,12 +320,26 @@ func (r *Rank) Recv(ctx *sim.Ctx, comm *Comm, src, tag int) (*Message, error) {
 		}
 		r.dropMatchedRdv(env)
 	}
+	r.observeRecv(comm.ctxID, env)
 	return &Message{
 		Src:  comm.localRank(env.src),
 		Tag:  env.tag,
 		Len:  env.size,
 		Data: env.data,
 	}, nil
+}
+
+// observeRecv records delivery metrics: per-communicator message and
+// byte counters, the one-way latency histogram, and an EvMPIRecv
+// flight-recorder event.
+func (r *Rank) observeRecv(ctxID int, env *envelope) {
+	cm := r.commMetrics(ctxID)
+	cm.recvMsgs.Inc()
+	cm.recvBytes.Add(int64(env.size))
+	lat := r.job.k.Now() - env.sentAt
+	cm.latency.Observe(lat.Seconds())
+	r.job.k.Metrics().Events().Emit(metrics.EvMPIRecv, cm.subject,
+		int64(env.size), int64(ctxID), int64(lat))
 }
 
 // matchOrWait finds the first matching unexpected envelope or posts a

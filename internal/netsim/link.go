@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/units"
 )
@@ -44,6 +45,18 @@ type Iface struct {
 	txBytes      int64
 	egressDrops  uint64
 	ingressDrops uint64
+
+	// busy accumulates serialization time for the utilization gauge.
+	busy time.Duration
+
+	// label is the interned "node[link]" string used for metric
+	// labels and event subjects.
+	label         string
+	mTxPackets    *metrics.Counter
+	mTxBytes      *metrics.Counter
+	mEgressDrops  *metrics.Counter
+	mIngressDrops *metrics.Counter
+	rec           *metrics.Recorder
 }
 
 // Node returns the node the interface belongs to.
@@ -93,6 +106,8 @@ func (i *Iface) String() string {
 func (i *Iface) enqueue(p *Packet) bool {
 	if !i.queue.Enqueue(p) {
 		i.egressDrops++
+		i.mEgressDrops.Inc()
+		i.rec.Emit(metrics.EvPacketDropEgress, i.label, int64(p.Size), int64(p.DSCP), 0)
 		if i.OnEgressDrop != nil {
 			i.OnEgressDrop(p)
 		}
@@ -119,10 +134,13 @@ func (i *Iface) tryTransmit() {
 	i.transmitting = true
 	k := i.node.net.k
 	txTime := i.link.rate.TimeToSend(p.Size)
+	i.busy += txTime
 	k.AfterPrio(txTime, sim.PrioNet, func() {
 		i.transmitting = false
 		i.txPackets++
 		i.txBytes += int64(p.Size)
+		i.mTxPackets.Inc()
+		i.mTxBytes.Add(int64(p.Size))
 		peer := i.peer()
 		k.AfterPrio(i.link.delay, sim.PrioNet, func() {
 			peer.arrive(p)
@@ -137,6 +155,8 @@ func (i *Iface) arrive(p *Packet) {
 		next := f.Filter(p)
 		if next == nil {
 			i.ingressDrops++
+			i.mIngressDrops.Inc()
+			i.rec.Emit(metrics.EvPacketDropIngress, i.label, int64(p.Size), int64(p.DSCP), 0)
 			if i.OnIngressDrop != nil {
 				i.OnIngressDrop(p)
 			}
@@ -250,8 +270,42 @@ func (n *Network) Connect(n1, n2 *Node, rate units.BitRate, delay time.Duration)
 	}
 	l.a = &Iface{node: n1, link: l, side: 0, queue: NewDropTail(DefaultQueueCap)}
 	l.b = &Iface{node: n2, link: l, side: 1, queue: NewDropTail(DefaultQueueCap)}
+	l.a.attachMetrics()
+	l.b.attachMetrics()
 	n1.ifaces = append(n1.ifaces, l.a)
 	n2.ifaces = append(n2.ifaces, l.b)
 	n.links = append(n.links, l)
 	return l
+}
+
+// attachMetrics resolves the interface's metric handles and registers
+// its live gauges. Called once from Connect.
+func (i *Iface) attachMetrics() {
+	k := i.node.net.k
+	reg := k.Metrics()
+	i.label = i.String()
+	i.rec = reg.Events()
+	i.mTxPackets = reg.Counter("netsim_tx_packets_total",
+		"packets transmitted on the link", "iface", i.label)
+	i.mTxBytes = reg.Counter("netsim_tx_bytes_total",
+		"bytes transmitted on the link", "iface", i.label)
+	i.mEgressDrops = reg.Counter("netsim_egress_drops_total",
+		"packets rejected by the egress queue", "iface", i.label)
+	i.mIngressDrops = reg.Counter("netsim_ingress_drops_total",
+		"packets dropped by ingress filters", "iface", i.label)
+	reg.GaugeFunc("netsim_queue_depth_packets",
+		"packets currently queued for egress",
+		func() float64 { return float64(i.queue.Len()) }, "iface", i.label)
+	reg.GaugeFunc("netsim_queue_depth_bytes",
+		"bytes currently queued for egress",
+		func() float64 { return float64(i.queue.Bytes()) }, "iface", i.label)
+	reg.GaugeFunc("netsim_link_utilization",
+		"fraction of elapsed sim time spent serializing packets",
+		func() float64 {
+			now := k.Now()
+			if now <= 0 {
+				return 0
+			}
+			return i.busy.Seconds() / now.Seconds()
+		}, "iface", i.label)
 }

@@ -150,12 +150,16 @@ func (n *Network) AddNode(name string) *Node {
 	if _, dup := n.byName[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
 	}
+	reg := n.k.Metrics()
 	node := &Node{
 		net:      n,
 		name:     name,
 		addr:     n.nextAddr,
 		handlers: make(map[Proto]Handler),
 		routes:   make(map[Addr]*Iface),
+		mNoRoute: reg.Counter("netsim_no_route_drops_total",
+			"packets dropped for lack of a route", "node", name),
+		rec: reg.Events(),
 	}
 	n.nextAddr++
 	n.nodes = append(n.nodes, node)

@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/units"
 )
@@ -123,12 +125,29 @@ func TestNoRouteDrop(t *testing.T) {
 	n.Connect(a, b, 10*units.Mbps, 0)
 	n.ComputeRoutes()
 	island := n.Node("island")
-	ok := a.Send(&Packet{Src: a.Addr(), Dst: island.Addr(), Proto: ProtoUDP, Size: 100})
-	if ok {
-		t.Fatal("send to unreachable node should fail")
+	err := a.Send(&Packet{Src: a.Addr(), Dst: island.Addr(), Proto: ProtoUDP, Size: 100})
+	var noRoute *NoRouteError
+	if !errors.As(err, &noRoute) {
+		t.Fatalf("send to unreachable node: err = %v, want *NoRouteError", err)
+	}
+	if noRoute.Node != "a" || noRoute.Dst != island.Addr() {
+		t.Fatalf("NoRouteError = %+v", noRoute)
 	}
 	if a.Stats().NoRouteDrops != 1 {
 		t.Fatalf("NoRouteDrops = %d, want 1", a.Stats().NoRouteDrops)
+	}
+	if v, ok := k.Metrics().CounterValue("netsim_no_route_drops_total", "node", "a"); !ok || v != 1 {
+		t.Fatalf("no-route counter = %d, %v", v, ok)
+	}
+	evs := k.Metrics().Events().Snapshot()
+	found := false
+	for _, e := range evs {
+		if e.Type == metrics.EvNoRoute && e.Subject == "a" && e.V1 == int64(island.Addr()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no EvNoRoute event in %+v", evs)
 	}
 }
 
@@ -253,8 +272,8 @@ func TestLoopbackDelivery(t *testing.T) {
 	k, _, a, _ := twoNodes(units.Mbps, time.Millisecond)
 	got := false
 	a.Handle(ProtoUDP, HandlerFunc(func(p *Packet) { got = true }))
-	if !a.Send(&Packet{Src: a.Addr(), Dst: a.Addr(), Proto: ProtoUDP, Size: 100}) {
-		t.Fatal("loopback send failed")
+	if err := a.Send(&Packet{Src: a.Addr(), Dst: a.Addr(), Proto: ProtoUDP, Size: 100}); err != nil {
+		t.Fatalf("loopback send failed: %v", err)
 	}
 	if err := k.Run(); err != nil {
 		t.Fatal(err)

@@ -1,10 +1,29 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 )
+
+// NoRouteError reports a packet addressed to a destination the
+// sending (or transit) node has no route for.
+type NoRouteError struct {
+	// Node is the name of the node that had no route.
+	Node string
+	// Dst is the unreachable destination address.
+	Dst Addr
+}
+
+func (e *NoRouteError) Error() string {
+	return fmt.Sprintf("netsim: node %q has no route to addr %d", e.Node, e.Dst)
+}
+
+// ErrEgressDrop reports that the local egress queue rejected the
+// packet. Transports treat it like any other loss.
+var ErrEgressDrop = errors.New("netsim: egress queue dropped packet")
 
 // Handler receives packets addressed to a node for one transport
 // protocol. A TCP stack or UDP demultiplexer registers itself here.
@@ -34,6 +53,9 @@ type Node struct {
 	rxPackets, txPackets uint64
 	rxBytes, txBytes     int64
 	noRouteDrops         uint64
+
+	mNoRoute *metrics.Counter
+	rec      *metrics.Recorder
 }
 
 // Name returns the node's name.
@@ -60,9 +82,10 @@ func (nd *Node) Handle(proto Proto, h Handler) {
 
 // Send originates a packet from this node. The packet's Src must be
 // the node's own address; ID and SentAt are stamped here. Send looks
-// up the route and enqueues on the egress interface. It reports false
-// if there is no route or the egress queue dropped the packet.
-func (nd *Node) Send(p *Packet) bool {
+// up the route and enqueues on the egress interface. It returns a
+// *NoRouteError if there is no route, ErrEgressDrop if the egress
+// queue rejected the packet, and nil on success.
+func (nd *Node) Send(p *Packet) error {
 	if p.Src != nd.addr {
 		panic(fmt.Sprintf("netsim: node %q sending packet with src %d", nd.name, p.Src))
 	}
@@ -73,20 +96,25 @@ func (nd *Node) Send(p *Packet) bool {
 
 // forward routes p out of this node. Used both for locally originated
 // packets and for transit traffic.
-func (nd *Node) forward(p *Packet) bool {
+func (nd *Node) forward(p *Packet) error {
 	if p.Dst == nd.addr {
 		// Loopback: deliver locally without touching any link.
 		nd.net.k.AfterPrio(0, sim.PrioNet, func() { nd.receive(nil, p) })
-		return true
+		return nil
 	}
 	out := nd.routes[p.Dst]
 	if out == nil {
 		nd.noRouteDrops++
-		return false
+		nd.mNoRoute.Inc()
+		nd.rec.Emit(metrics.EvNoRoute, nd.name, int64(p.Dst), int64(p.Size), 0)
+		return &NoRouteError{Node: nd.name, Dst: p.Dst}
 	}
 	nd.txPackets++
 	nd.txBytes += int64(p.Size)
-	return out.enqueue(p)
+	if !out.enqueue(p) {
+		return ErrEgressDrop
+	}
+	return nil
 }
 
 // receive is called when a packet arrives at one of the node's
@@ -100,7 +128,8 @@ func (nd *Node) receive(in *Iface, p *Packet) {
 		}
 		return
 	}
-	nd.forward(p)
+	// Transit: drop accounting happens inside forward.
+	_ = nd.forward(p)
 }
 
 // SetRoute installs iface as the next hop toward dst. The interface

@@ -104,7 +104,7 @@ func TestConservationUnderLossProperty(t *testing.T) {
 		var tx int64
 		for i := 0; i < 50; i++ {
 			size := units.ByteSize(rng.Intn(1400) + 28)
-			if a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: ProtoUDP, Size: size}) {
+			if a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: ProtoUDP, Size: size}) == nil {
 				tx += int64(size)
 			}
 		}

@@ -114,9 +114,10 @@ func (u *UDPSocket) SetDSCP(d DSCP) { u.dscp = d }
 
 // SendTo transmits a datagram of payloadLen bytes to (dst, dstPort).
 // It reports false if the datagram was dropped before leaving the
-// node (no route, or local egress queue full) — like real UDP, later
-// drops are silent. payload rides along for the receiver and may be
-// nil.
+// node — like real UDP, later drops are silent. A local egress-queue
+// drop is ordinary loss (false, nil); an unroutable destination also
+// surfaces the *NoRouteError, like a host ENETUNREACH. payload rides
+// along for the receiver and may be nil.
 func (u *UDPSocket) SendTo(dst Addr, dstPort Port, payloadLen units.ByteSize, payload any) (bool, error) {
 	if u.closed {
 		return false, ErrClosed
@@ -135,12 +136,17 @@ func (u *UDPSocket) SendTo(dst Addr, dstPort Port, payloadLen units.ByteSize, pa
 		PayloadLen: payloadLen,
 		Payload:    payload,
 	}
-	ok := u.stack.node.Send(p)
-	if ok {
-		u.txDatagrams++
-		u.txBytes += int64(payloadLen)
+	err := u.stack.node.Send(p)
+	var noRoute *NoRouteError
+	if errors.As(err, &noRoute) {
+		return false, noRoute
 	}
-	return ok, nil
+	if err != nil {
+		return false, nil // egress drop: silent loss, as on the wire
+	}
+	u.txDatagrams++
+	u.txBytes += int64(payloadLen)
+	return true, nil
 }
 
 // Recv blocks until a datagram arrives or the socket is closed.

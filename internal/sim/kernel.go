@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"mpichgq/internal/metrics"
 )
 
 // Event priorities. Lower values run first among events scheduled for
@@ -90,16 +92,24 @@ type Kernel struct {
 	cur     *Proc
 	stopped bool
 	err     error
+	metrics *metrics.Registry
 }
 
 // New returns a kernel with its clock at zero and a deterministic RNG
 // seeded with seed.
 func New(seed int64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	k := &Kernel{rng: NewRNG(seed)}
+	k.metrics = metrics.New(k.Now)
+	return k
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
+
+// Metrics returns the kernel's metrics registry; every subsystem
+// built on this kernel registers its series and emits flight-recorder
+// events here, with timestamps from the kernel clock.
+func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
 
 // RNG returns the kernel's deterministic random number generator.
 func (k *Kernel) RNG() *RNG { return k.rng }

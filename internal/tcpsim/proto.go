@@ -3,6 +3,7 @@ package tcpsim
 import (
 	"time"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/units"
 )
@@ -58,8 +59,10 @@ func (c *Conn) sendSegment(seg *segment) {
 		Payload:    seg,
 	}
 	c.stats.SegmentsSent++
+	c.stack.m.segments.Inc()
+	c.stack.m.cwnd.Set(c.cwnd)
 	// A local egress drop is just loss; retransmission recovers it.
-	c.stack.node.Send(p)
+	_ = c.stack.node.Send(p)
 }
 
 // effectiveWnd returns the sender's usable window in bytes.
@@ -148,14 +151,20 @@ func (c *Conn) transmitRange(seq int64, n units.ByteSize, retx bool) {
 		}
 	}
 	c.stats.BytesSent += int64(n)
+	m := &c.stack.m
+	retxFlag := int64(0)
 	if retx {
 		c.stats.Retransmits++
+		m.retx.Inc()
+		m.rec.Emit(metrics.EvTCPRetransmit, m.nodeName, seq, int64(n), 0)
+		retxFlag = 1
 	} else if !c.rttTiming {
 		// Karn's algorithm: time only segments sent once.
 		c.rttTiming = true
 		c.rttSeq = end
 		c.rttStart = c.stack.k.Now()
 	}
+	m.rec.Emit(metrics.EvTCPSegment, m.nodeName, seq, int64(n), retxFlag)
 	if c.TraceSend != nil {
 		c.TraceSend(c.stack.k.Now(), seq, n, retx)
 	}
@@ -228,6 +237,8 @@ func (c *Conn) onRTO() {
 	if c.rto > c.stack.opts.MaxRTO {
 		c.rto = c.stack.opts.MaxRTO
 	}
+	c.stack.m.timeouts.Inc()
+	c.stack.m.rec.Emit(metrics.EvTCPTimeout, c.stack.m.nodeName, c.sndUna, int64(c.rto), 0)
 	// Go-back-N: always retransmit the first outstanding segment,
 	// regardless of the advertised window (a zero window must not
 	// block recovery of already-sent data).
@@ -252,6 +263,7 @@ func (c *Conn) onRTO() {
 
 // sampleRTT folds a measurement into srtt/rttvar per RFC 6298.
 func (c *Conn) sampleRTT(r time.Duration) {
+	c.stack.m.rtt.Observe(r.Seconds())
 	if !c.hasRTT {
 		c.srtt = r
 		c.rttvar = r / 2
@@ -425,6 +437,7 @@ func (c *Conn) processAck(seg *segment) {
 		if c.dupAcks == 3 {
 			// Fast retransmit + fast recovery.
 			c.stats.FastRetransmit++
+			c.stack.m.fastRetx.Inc()
 			flight := float64(c.sndNxt - c.sndUna)
 			c.ssthresh = flight / 2
 			if min := 2 * mss; c.ssthresh < min {

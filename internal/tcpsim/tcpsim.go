@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/units"
@@ -125,6 +126,21 @@ type Stack struct {
 	nextPort  netsim.Port
 
 	rstSent uint64
+	m       stackMetrics
+}
+
+// stackMetrics holds the per-node metric handles every connection on
+// a stack shares (resolved once in NewStack; co-located stacks on one
+// node share series through registry dedup).
+type stackMetrics struct {
+	nodeName string
+	segments *metrics.Counter
+	retx     *metrics.Counter
+	timeouts *metrics.Counter
+	fastRetx *metrics.Counter
+	rtt      *metrics.Histogram
+	cwnd     *metrics.Gauge
+	rec      *metrics.Recorder
 }
 
 // NewStack creates a TCP stack on node nd and registers it as the
@@ -139,6 +155,24 @@ func NewStack(nd *netsim.Node, opts Options) *Stack {
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[netsim.Port]*Listener),
 		nextPort:  40000,
+	}
+	reg := s.k.Metrics()
+	name := nd.Name()
+	s.m = stackMetrics{
+		nodeName: name,
+		segments: reg.Counter("tcp_segments_sent_total",
+			"TCP segments handed to the network", "node", name),
+		retx: reg.Counter("tcp_retransmits_total",
+			"TCP data retransmissions", "node", name),
+		timeouts: reg.Counter("tcp_timeouts_total",
+			"TCP retransmission-timer expiries", "node", name),
+		fastRetx: reg.Counter("tcp_fast_retransmits_total",
+			"TCP fast-retransmit events", "node", name),
+		rtt: reg.Histogram("tcp_rtt_seconds",
+			"smoothed TCP round-trip samples", metrics.DefLatencyBuckets, "node", name),
+		cwnd: reg.Gauge("tcp_cwnd_bytes",
+			"congestion window of the node's most recently active connection", "node", name),
+		rec: reg.Events(),
 	}
 	nd.Handle(netsim.ProtoTCP, s)
 	return s
@@ -208,7 +242,7 @@ func (s *Stack) sendRST(orig *netsim.Packet) {
 		Size:    netsim.TCPHeader + netsim.IPHeader,
 		Payload: seg,
 	}
-	s.node.Send(pkt)
+	_ = s.node.Send(pkt)
 }
 
 // Dial opens a connection to (raddr, rport), blocking the calling

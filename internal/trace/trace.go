@@ -36,9 +36,26 @@ func (s Series) String() string {
 
 // Max returns the largest value in the series (0 if empty).
 func (s Series) Max() float64 {
-	m := 0.0
-	for _, p := range s.Points {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points[1:] {
 		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the smallest value in the series (0 if empty).
+func (s Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points[1:] {
+		if p.V < m {
 			m = p.V
 		}
 	}

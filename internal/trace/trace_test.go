@@ -60,6 +60,23 @@ func TestSeriesHelpers(t *testing.T) {
 	if !strings.Contains(s.String(), "# s") {
 		t.Fatal("String missing header")
 	}
+	if s.Min() != 1 {
+		t.Fatalf("min = %v", s.Min())
+	}
+}
+
+func TestSeriesMaxMinNegative(t *testing.T) {
+	neg := Series{Points: []Point{{V: -5}, {V: -2}, {V: -9}}}
+	if got := neg.Max(); got != -2 {
+		t.Fatalf("all-negative max = %v, want -2", got)
+	}
+	if got := neg.Min(); got != -9 {
+		t.Fatalf("all-negative min = %v, want -9", got)
+	}
+	var empty Series
+	if empty.Max() != 0 || empty.Min() != 0 {
+		t.Fatalf("empty series max/min = %v/%v, want 0/0", empty.Max(), empty.Min())
+	}
 }
 
 func TestSeqTrace(t *testing.T) {
