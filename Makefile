@@ -34,6 +34,7 @@ figures:
 	$(GO) run ./cmd/garnet -exp fig7 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp fig8 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp fig9 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp figF -svgdir docs/figures >/dev/null
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -41,6 +42,7 @@ examples:
 	$(GO) run ./examples/cpureserve
 	$(GO) run ./examples/collectives
 	$(GO) run ./examples/advance
+	$(GO) run ./examples/selfhealing
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|table1|isvsds|latency|ablations|all
+//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|table1|isvsds|latency|ablations|all
 //	       [-scale 1.0] [-seed 1] [-svgdir dir]
 //	garnet -topology
 package main
@@ -25,7 +25,7 @@ import (
 var svgDir string
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, table1, isvsds, latency, ablations, all")
+	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, table1, isvsds, latency, ablations, all")
 	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
@@ -93,6 +93,8 @@ func main() {
 			runFig8(cfg)
 		case "fig9":
 			runFig9(cfg)
+		case "figF":
+			runFigF(cfg)
 		case "table1":
 			fmt.Print(experiments.Table1Render(experiments.RunTable1(cfg)))
 		case "isvsds":
@@ -119,7 +121,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "isvsds", "latency", "ablations"} {
+		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "table1", "isvsds", "latency", "ablations"} {
 			fmt.Printf("=== %s ===\n", id)
 			run(id)
 			fmt.Println()
@@ -191,6 +193,20 @@ func retxMark(retx bool) string {
 		return "  (retransmit)"
 	}
 	return ""
+}
+
+func runFigF(cfg experiments.Config) {
+	r := experiments.RunFigureF(cfg)
+	fmt.Printf("Figure F: %v premium flow through a WAN flap (down %.0fs..%.0fs) under %v contention\n",
+		r.Target, r.Down.Seconds(), r.Up.Seconds(), experiments.ContentionRate)
+	fmt.Print(experiments.FigureFTable(r).String())
+	fmt.Printf("watchdog: %d repairs, %d fallbacks, %d upgrades\n", r.Repairs, r.Fallbacks, r.Upgrades)
+	fmt.Print(r.Healed.Series.String())
+	writeSVG("figF", trace.Plot{
+		Title:  "Figure F: self-healing QoS through a WAN link flap",
+		XLabel: "time (s)", YLabel: "goodput (Kb/s)",
+		Series: []trace.Series{r.NoQoS.Series, r.Static.Series, r.Healed.Series},
+	})
 }
 
 func runFig8(cfg experiments.Config) {

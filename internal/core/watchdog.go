@@ -1,0 +1,249 @@
+package gq
+
+import (
+	"fmt"
+	"time"
+
+	"mpichgq/internal/gara"
+	"mpichgq/internal/metrics"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/nws"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
+)
+
+// Watchdog phase names, interned for flight-recorder events
+// (metrics.EvQosRepair: Subject=phase, V1=rank, V2=context id,
+// V3=phase detail).
+const (
+	phaseBreach   = "breach"
+	phaseRepair   = "repair"
+	phaseFallback = "fallback"
+	phaseUpgrade  = "upgrade"
+)
+
+// Watchdog is the self-healing extension of the QoS agent: it watches
+// a premium communicator's achieved goodput (from the metrics layer,
+// smoothed by an NWS forecaster) against the application's target and
+// runs a repair loop when the guarantee breaks — typically because a
+// fault degraded the underlying reservation. Repair attempts are
+// paced by exponential backoff with jitter; if admission keeps
+// refusing, the flow falls back to best effort (a degraded
+// reservation holds no capacity anyway) and the watchdog keeps
+// probing at the capped interval to upgrade back when capacity
+// returns.
+type Watchdog struct {
+	agent *Agent
+	rank  *mpi.Rank
+	comm  *mpi.Comm
+	// attr is the premium attribute to maintain and, after a
+	// fallback, to restore.
+	attr QosAttribute
+
+	// Target is the application's desired payload goodput.
+	Target units.BitRate
+	// BreachFraction: a sample below BreachFraction*Target counts as
+	// a breach (default 0.8).
+	BreachFraction float64
+	// BreachCount consecutive breach samples trigger the repair loop
+	// (default 3) — one bad forecast is noise, a run is an outage.
+	BreachCount int
+	// FallbackAfter failed repair attempts demote the flow to best
+	// effort (default 4).
+	FallbackAfter int
+	// Backoff paces repair attempts.
+	Backoff *Backoff
+
+	fc        *nws.Forecaster
+	recv      *metrics.Counter
+	lastBytes int64
+	breaches  int
+	stopped   bool
+	rec       *metrics.Recorder
+
+	repairs, fallbacks, upgrades int
+}
+
+// NewWatchdog prepares self-healing for rank r's premium binding on c
+// toward the given payload goodput target. The binding must already
+// exist (AttrPut first). Goodput is measured at the receiving peer's
+// mpi_recv_bytes_total counter; repairs act on r's binding.
+func (a *Agent) NewWatchdog(r *mpi.Rank, c *mpi.Comm, target units.BitRate) (*Watchdog, error) {
+	b, ok := a.Binding(r, c)
+	if !ok {
+		return nil, fmt.Errorf("gq: no QoS binding to watch on this communicator")
+	}
+	peer := -1
+	for _, g := range c.Group() {
+		if g != r.ID() {
+			peer = g
+		}
+	}
+	if peer < 0 {
+		return nil, fmt.Errorf("gq: watchdog needs a two-party communicator")
+	}
+	k := a.g.Kernel()
+	return &Watchdog{
+		agent:          a,
+		rank:           r,
+		comm:           c,
+		attr:           b.Attr,
+		Target:         target,
+		BreachFraction: 0.8,
+		BreachCount:    3,
+		FallbackAfter:  4,
+		Backoff:        NewBackoff(sim.NewRNG(k.RNG().Int63()), 500*time.Millisecond, 4*time.Second),
+		fc:             nws.NewForecaster(),
+		recv:           a.job.Rank(peer).RecvBytesCounter(c),
+		rec:            k.Metrics().Events(),
+	}, nil
+}
+
+// Run executes the watchdog in the calling process until dur elapses
+// (or Stop). interval is the goodput sampling period; repair attempts
+// run on the Backoff schedule instead while a breach is being
+// handled.
+func (w *Watchdog) Run(ctx *sim.Ctx, interval, dur time.Duration) {
+	k := w.agent.g.Kernel()
+	deadline := k.Now() + dur
+	w.lastBytes = w.recv.Value()
+	lastAt := k.Now()
+	for k.Now() < deadline && !w.stopped {
+		ctx.Sleep(interval)
+		w.sample(k.Now() - lastAt)
+		lastAt = k.Now()
+		if w.breachedNow() {
+			w.breaches++
+		} else {
+			w.breaches = 0
+		}
+		if w.breaches >= w.BreachCount {
+			w.rec.Emit(metrics.EvQosRepair, phaseBreach,
+				int64(w.rank.ID()), int64(w.comm.Context()), int64(w.fc.Forecast()))
+			w.repairLoop(ctx, deadline)
+			// Start goodput accounting afresh: forecasts from the
+			// outage would re-trigger immediately.
+			w.fc = nws.NewForecaster()
+			w.breaches = 0
+			w.lastBytes = w.recv.Value()
+			lastAt = k.Now()
+		}
+	}
+}
+
+// sample appends one achieved-goodput observation (bits/s).
+func (w *Watchdog) sample(elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	cur := w.recv.Value()
+	w.fc.Add(float64(cur-w.lastBytes) * 8 / elapsed.Seconds())
+	w.lastBytes = cur
+}
+
+// breachedNow reports whether this instant looks broken: the binding
+// lost a reservation (degraded or gone), or the smoothed goodput sits
+// below the breach threshold.
+func (w *Watchdog) breachedNow() bool {
+	b, ok := w.agent.Binding(w.rank, w.comm)
+	if !ok {
+		return true
+	}
+	for _, res := range b.Reservations {
+		if res.State() != gara.StateActive {
+			return true
+		}
+	}
+	if w.fc.Len() < 2 {
+		return false
+	}
+	return w.fc.Forecast() < w.BreachFraction*float64(w.Target)
+}
+
+// repairLoop retries restoration on the backoff schedule until it
+// succeeds, the deadline passes, or Stop is called. After
+// FallbackAfter failures the flow is demoted to best effort; the loop
+// keeps probing (at the capped interval) and upgrades back when
+// admission succeeds again.
+func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
+	k := w.agent.g.Kernel()
+	w.Backoff.Reset()
+	failures := 0
+	fellBack := false
+	for k.Now() < deadline && !w.stopped {
+		if w.tryRestore() {
+			phase := phaseRepair
+			if fellBack {
+				phase = phaseUpgrade
+				w.upgrades++
+			} else {
+				w.repairs++
+			}
+			w.rec.Emit(metrics.EvQosRepair, phase,
+				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			w.Backoff.Reset()
+			return
+		}
+		failures++
+		if !fellBack && failures >= w.FallbackAfter {
+			be := QosAttribute{Class: BestEffort}
+			_ = w.agent.Apply(w.rank, w.comm, &be)
+			fellBack = true
+			w.fallbacks++
+			w.rec.Emit(metrics.EvQosRepair, phaseFallback,
+				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+		}
+		ctx.Sleep(w.Backoff.Next())
+	}
+}
+
+// tryRestore attempts to bring the premium binding back to full
+// health. Degraded reservations are reattached in place (cheap:
+// re-admission on the current path); anything beyond that — a lost
+// binding after fallback, or expired/cancelled handles — is rebuilt
+// with a fresh reservation.
+func (w *Watchdog) tryRestore() bool {
+	b, ok := w.agent.Binding(w.rank, w.comm)
+	if !ok {
+		attr := w.attr
+		return w.agent.Apply(w.rank, w.comm, &attr) == nil
+	}
+	healthy := true
+	for _, res := range b.Reservations {
+		switch res.State() {
+		case gara.StateActive:
+			// fine
+		case gara.StateDegraded:
+			if err := res.Reattach(); err != nil {
+				healthy = false
+			}
+		default:
+			healthy = false
+		}
+	}
+	if healthy {
+		return true
+	}
+	// In-place repair failed; rebuild from scratch. Losing the race
+	// here leaves no binding, and the next attempt takes the
+	// fresh-install path above.
+	be := QosAttribute{Class: BestEffort}
+	_ = w.agent.Apply(w.rank, w.comm, &be)
+	attr := w.attr
+	return w.agent.Apply(w.rank, w.comm, &attr) == nil
+}
+
+// Stop ends Run at the next wakeup.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Repairs returns how many times the watchdog restored the premium
+// binding without a fallback.
+func (w *Watchdog) Repairs() int { return w.repairs }
+
+// Fallbacks returns how many times the flow was demoted to best
+// effort.
+func (w *Watchdog) Fallbacks() int { return w.fallbacks }
+
+// Upgrades returns how many times the flow was promoted back from a
+// fallback.
+func (w *Watchdog) Upgrades() int { return w.upgrades }

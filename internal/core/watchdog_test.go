@@ -1,0 +1,125 @@
+package gq
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/faults"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+// healingRun streams a 10 Mb/s premium flow under blaster contention
+// through a bottleneck flap [downAt, upAt), with or without the
+// self-healing watchdog, and returns the payload bytes received after
+// measureFrom plus the watchdog (nil when heal is false).
+func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Duration) (units.ByteSize, *Watchdog) {
+	t.Helper()
+	const target = 10 * units.Mbps
+	const msg = 25 * units.KB
+	tb := garnet.New(1)
+	faults.NewScenario("flap").Flap("edge1-core", downAt, upAt).MustApply(tb.Net)
+	bl := &trafficgen.UDPBlaster{Rate: 160 * units.Mbps, Jitter: 0.1}
+	if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+		t.Fatal(err)
+	}
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
+	agent := NewAgent(tb.Gara, job)
+	var lateBytes units.ByteSize
+	var w *Watchdog
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		pc, err := r.PairComm(ctx, 1-r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		peer := 1 - r.RankIn(pc)
+		if r.ID() == 0 {
+			attr := &QosAttribute{Class: Premium, Bandwidth: target}
+			if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+				t.Error(err)
+				return
+			}
+			if heal {
+				wd, err := agent.NewWatchdog(r, pc, target)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				w = wd
+				ctx.SpawnChild("watchdog", func(wctx *sim.Ctx) {
+					wd.Run(wctx, 250*time.Millisecond, dur)
+				})
+			}
+			gap := target.TimeToSend(msg)
+			for ctx.Now() < dur {
+				if err := r.Send(ctx, pc, peer, 0, msg, nil); err != nil {
+					return
+				}
+				ctx.Sleep(gap)
+			}
+			return
+		}
+		for {
+			m, err := r.Recv(ctx, pc, peer, 0)
+			if err != nil {
+				return
+			}
+			if ctx.Now() >= measureFrom {
+				lateBytes += m.Len
+			}
+		}
+	})
+	if err := tb.K.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+	return lateBytes, w
+}
+
+func TestWatchdogRepairsAfterFlap(t *testing.T) {
+	const downAt, upAt = 6 * time.Second, 10 * time.Second
+	const measureFrom, dur = 12 * time.Second, 20 * time.Second
+	window := dur - measureFrom
+	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur)
+	plain, _ := healingRun(t, false, downAt, upAt, measureFrom, dur)
+	healedRate := units.RateOf(healed, window)
+	plainRate := units.RateOf(plain, window)
+	if w.Repairs()+w.Upgrades() < 1 {
+		t.Fatalf("watchdog made no repairs (repairs=%d upgrades=%d)", w.Repairs(), w.Fallbacks())
+	}
+	// Post-recovery the healed flow must be near its 10 Mb/s target
+	// again; the unhealed one lost enforcement when the reservation
+	// degraded and stays crushed by the blaster.
+	if healedRate < 7*units.Mbps {
+		t.Fatalf("healed post-recovery rate = %v, want near 10 Mb/s", healedRate)
+	}
+	if float64(plainRate) > 0.5*float64(healedRate) {
+		t.Fatalf("healing ineffective: healed %v vs unhealed %v", healedRate, plainRate)
+	}
+}
+
+func TestWatchdogFallsBackThenUpgrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long outage run")
+	}
+	// An outage long enough that FallbackAfter repair attempts fail:
+	// the watchdog demotes the flow to best effort, keeps probing at
+	// the capped interval, and upgrades once the link returns.
+	const downAt, upAt = 6 * time.Second, 16 * time.Second
+	const measureFrom, dur = 19 * time.Second, 26 * time.Second
+	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur)
+	if w.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", w.Fallbacks())
+	}
+	if w.Upgrades() != 1 {
+		t.Fatalf("upgrades = %d, want 1", w.Upgrades())
+	}
+	rate := units.RateOf(healed, dur-measureFrom)
+	if rate < 7*units.Mbps {
+		t.Fatalf("post-upgrade rate = %v, want near 10 Mb/s", rate)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFigureFSelfHealingRecovers asserts the robustness figure's
+// acceptance shape on an abbreviated run: after the WAN flap the
+// self-healing curve climbs back to at least 90% of the 16 Mb/s
+// target, while the static-QoS curve (reservation degraded, never
+// repaired) and the no-QoS curve stay crushed by the generator.
+func TestFigureFSelfHealingRecovers(t *testing.T) {
+	r := RunFigureF(QuickConfig())
+	if r.Healed.RecoveryFrac < 0.9 {
+		t.Fatalf("self-healing recovery = %v (%.0f%% of target), want >= 90%%",
+			r.Healed.Recovery, 100*r.Healed.RecoveryFrac)
+	}
+	if r.Repairs+r.Upgrades < 1 {
+		t.Fatalf("watchdog made no repairs (repairs=%d fallbacks=%d upgrades=%d)",
+			r.Repairs, r.Fallbacks, r.Upgrades)
+	}
+	for _, c := range []FigureFCurve{r.NoQoS, r.Static} {
+		if c.RecoveryFrac > 0.5*r.Healed.RecoveryFrac {
+			t.Fatalf("%s recovery %v rivals self-healing %v — healing adds nothing",
+				c.Name, c.Recovery, r.Healed.Recovery)
+		}
+	}
+	// Both reserved runs hold the target before the flap; without a
+	// reservation the generator dominates from the start.
+	for _, c := range []FigureFCurve{r.Static, r.Healed} {
+		if float64(c.PreFlap) < 0.9*float64(r.Target) {
+			t.Fatalf("%s pre-flap goodput = %v, want near %v", c.Name, c.PreFlap, r.Target)
+		}
+	}
+	if float64(r.NoQoS.PreFlap) > 0.7*float64(r.Target) {
+		t.Fatalf("no-QoS pre-flap goodput = %v, expected contention to dominate", r.NoQoS.PreFlap)
+	}
+}
+
+// TestFigureFDeterministic replays the abbreviated run and requires
+// identical phase means.
+func TestFigureFDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full figF run")
+	}
+	a := RunFigureF(QuickConfig())
+	b := RunFigureF(QuickConfig())
+	for i, pair := range [][2]FigureFCurve{{a.NoQoS, b.NoQoS}, {a.Static, b.Static}, {a.Healed, b.Healed}} {
+		if pair[0].PreFlap != pair[1].PreFlap || pair[0].Outage != pair[1].Outage || pair[0].Recovery != pair[1].Recovery {
+			t.Fatalf("curve %d: same seed, different means:\n  %+v\n  %+v", i, pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package faults is a deterministic fault-injection subsystem for
+// netsim networks: scheduled link flaps, router (node) failures, and
+// windows of random per-link packet loss or corruption, all driven by
+// the sim kernel so every run with the same seed replays the same
+// fault sequence.
+//
+// A Scenario is built with a fluent API —
+//
+//	sc := faults.NewScenario("wan-flap").
+//		LinkDown(20*time.Second, "edge1-core").
+//		LinkUp(32*time.Second, "edge1-core")
+//	sc.Apply(net)
+//
+// — or fetched from the registry by name (see Register/Build), which
+// is how `cmd/garnet` and the chaos tests share canned scenarios.
+// Faults reference links and nodes by name and resolve them at Apply
+// time, so one scenario can run against any topology that has them.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mpichgq/internal/metrics"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+)
+
+// Interned flight-recorder subjects for EvFaultInject, one per action
+// kind.
+const (
+	actLinkDown    = "link-down"
+	actLinkUp      = "link-up"
+	actNodeDown    = "node-down"
+	actNodeUp      = "node-up"
+	actLossStart   = "loss-start"
+	actLossEnd     = "loss-end"
+	actCorruptDrop = "corrupt"
+	actLossDrop    = "loss"
+)
+
+// action is one scheduled fault event.
+type action struct {
+	at   time.Duration
+	kind string
+	// link or node name, depending on kind.
+	target string
+	// prob and until apply to loss/corruption windows.
+	prob    float64
+	until   time.Duration
+	corrupt bool
+}
+
+// Scenario is an ordered set of scheduled fault actions.
+type Scenario struct {
+	name    string
+	actions []action
+}
+
+// NewScenario returns an empty scenario with the given name.
+func NewScenario(name string) *Scenario { return &Scenario{name: name} }
+
+// Name returns the scenario's name.
+func (s *Scenario) Name() string { return s.name }
+
+// Len returns the number of scheduled actions.
+func (s *Scenario) Len() int { return len(s.actions) }
+
+// LinkDown schedules the named link to leave service at t.
+func (s *Scenario) LinkDown(t time.Duration, link string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actLinkDown, target: link})
+	return s
+}
+
+// LinkUp schedules the named link to return to service at t.
+func (s *Scenario) LinkUp(t time.Duration, link string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actLinkUp, target: link})
+	return s
+}
+
+// Flap schedules a down/up cycle on the named link.
+func (s *Scenario) Flap(link string, down, up time.Duration) *Scenario {
+	return s.LinkDown(down, link).LinkUp(up, link)
+}
+
+// NodeDown schedules a router failure at t: every link touching the
+// named node leaves service.
+func (s *Scenario) NodeDown(t time.Duration, node string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actNodeDown, target: node})
+	return s
+}
+
+// NodeUp schedules the named node's recovery at t: every link
+// touching it returns to service.
+func (s *Scenario) NodeUp(t time.Duration, node string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actNodeUp, target: node})
+	return s
+}
+
+// Loss schedules a window [from, to) of random packet loss on the
+// named link: each packet arriving at either end is dropped with
+// probability prob, drawn from the injection's deterministic RNG.
+func (s *Scenario) Loss(link string, from, to time.Duration, prob float64) *Scenario {
+	s.actions = append(s.actions, action{
+		at: from, until: to, kind: actLossStart, target: link, prob: prob,
+	})
+	return s
+}
+
+// Corrupt schedules a window [from, to) of random packet corruption
+// on the named link. A corrupted packet fails its checksum at the
+// receiving interface and is dropped there; it differs from Loss only
+// in how the drop is reported.
+func (s *Scenario) Corrupt(link string, from, to time.Duration, prob float64) *Scenario {
+	s.actions = append(s.actions, action{
+		at: from, until: to, kind: actLossStart, target: link, prob: prob, corrupt: true,
+	})
+	return s
+}
+
+// Injection is a scenario applied to one network: it tracks the
+// scheduled timers and impairment filters so tests can inspect drop
+// counts.
+type Injection struct {
+	net *netsim.Network
+	k   *sim.Kernel
+	rng *sim.RNG
+	rec *metrics.Recorder
+
+	lossDrops    uint64
+	corruptDrops uint64
+}
+
+// LossDrops returns packets dropped by random-loss windows so far.
+func (in *Injection) LossDrops() uint64 { return in.lossDrops }
+
+// CorruptDrops returns packets dropped by corruption windows so far.
+func (in *Injection) CorruptDrops() uint64 { return in.corruptDrops }
+
+// Apply schedules every action of the scenario on net's kernel and
+// returns the injection handle. It validates that every referenced
+// link and node exists, so a typo fails fast instead of silently
+// injecting nothing. Randomness is drawn from a dedicated RNG seeded
+// from the kernel's, keeping fault draws independent of (and the run
+// reproducible alongside) other stochastic components.
+func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
+	k := net.Kernel()
+	in := &Injection{
+		net: net,
+		k:   k,
+		rng: sim.NewRNG(k.RNG().Int63()),
+		rec: k.Metrics().Events(),
+	}
+	// Sort by time (stable: same-time actions keep builder order) so
+	// scheduling order is deterministic regardless of builder style.
+	acts := make([]action, len(s.actions))
+	copy(acts, s.actions)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].at < acts[j].at })
+	for _, a := range acts {
+		a := a
+		switch a.kind {
+		case actLinkDown, actLinkUp:
+			l := net.Link(a.target)
+			if l == nil {
+				return nil, fmt.Errorf("faults: scenario %q: no link %q", s.name, a.target)
+			}
+			up := a.kind == actLinkUp
+			k.At(a.at, sim.PrioNormal, func() {
+				in.rec.Emit(metrics.EvFaultInject, a.kind, 0, 0, 0)
+				l.SetUp(up)
+			})
+		case actNodeDown, actNodeUp:
+			nd := net.Node(a.target)
+			if nd == nil {
+				return nil, fmt.Errorf("faults: scenario %q: no node %q", s.name, a.target)
+			}
+			up := a.kind == actNodeUp
+			k.At(a.at, sim.PrioNormal, func() {
+				in.rec.Emit(metrics.EvFaultInject, a.kind, 0, 0, 0)
+				for _, iface := range nd.Ifaces() {
+					iface.Link().SetUp(up)
+				}
+			})
+		case actLossStart:
+			l := net.Link(a.target)
+			if l == nil {
+				return nil, fmt.Errorf("faults: scenario %q: no link %q", s.name, a.target)
+			}
+			in.installImpairment(l, a)
+		default:
+			panic("faults: unknown action kind " + a.kind)
+		}
+	}
+	return in, nil
+}
+
+// MustApply is Apply panicking on error, for experiment code whose
+// scenarios are static.
+func (s *Scenario) MustApply(net *netsim.Network) *Injection {
+	in, err := s.Apply(net)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// installImpairment adds a random-drop ingress filter to both ends of
+// l, active during [a.at, a.until). The filter is installed
+// immediately (inactive) and armed/disarmed by scheduled events, since
+// interfaces have no filter-removal API.
+func (in *Injection) installImpairment(l *netsim.Link, a action) {
+	imp := &impairment{in: in, prob: a.prob, corrupt: a.corrupt}
+	// Wire loss must precede classification/policing, so prepend.
+	l.A().InsertIngress(imp)
+	l.B().InsertIngress(imp)
+	startKind, endKind := actLossStart, actLossEnd
+	in.k.At(a.at, sim.PrioNormal, func() {
+		in.rec.Emit(metrics.EvFaultInject, startKind, int64(a.prob*1e6), 0, 0)
+		imp.active = true
+	})
+	if a.until > a.at {
+		in.k.At(a.until, sim.PrioNormal, func() {
+			in.rec.Emit(metrics.EvFaultInject, endKind, 0, 0, 0)
+			imp.active = false
+		})
+	}
+}
+
+// impairment is the ingress filter implementing loss/corruption
+// windows.
+type impairment struct {
+	in      *Injection
+	prob    float64
+	corrupt bool
+	active  bool
+}
+
+// Filter implements netsim.IngressFilter.
+func (im *impairment) Filter(p *netsim.Packet) *netsim.Packet {
+	if !im.active || im.in.rng.Float64() >= im.prob {
+		return p
+	}
+	if im.corrupt {
+		im.in.corruptDrops++
+		im.in.rec.Emit(metrics.EvFaultInject, actCorruptDrop, int64(p.Size), int64(p.DSCP), 0)
+	} else {
+		im.in.lossDrops++
+		im.in.rec.Emit(metrics.EvFaultInject, actLossDrop, int64(p.Size), int64(p.DSCP), 0)
+	}
+	return nil
+}

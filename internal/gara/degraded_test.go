@@ -1,0 +1,109 @@
+package gara
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/units"
+)
+
+func TestLinkFailureDegradesReservation(t *testing.T) {
+	r := newRig()
+	res, err := r.g.Reserve(r.netSpec(4 * units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []State
+	res.OnChange(func(_ *Reservation, s State) { states = append(states, s) })
+
+	r.bott.SetUp(false)
+	if res.State() != StateDegraded {
+		t.Fatalf("state after link failure = %v, want degraded", res.State())
+	}
+	// Degrading must release booked capacity and remove enforcement:
+	// unbooked premium traffic must not keep riding EF.
+	if got := r.netRM.Utilization(r.bott, r.k.Now()); got != 0 {
+		t.Fatalf("bottleneck EF utilization after degrade = %v, want 0", got)
+	}
+	if r.netRM.Enforcement(res) != nil {
+		t.Fatal("edge rule still installed after degrade")
+	}
+	// Repeated transitions must not re-degrade.
+	r.bott.SetUp(false)
+	if len(states) != 1 || states[0] != StateDegraded {
+		t.Fatalf("transitions = %v, want [degraded]", states)
+	}
+
+	// Repair after the link returns.
+	r.bott.SetUp(true)
+	if err := res.Reattach(); err != nil {
+		t.Fatalf("reattach after recovery: %v", err)
+	}
+	if res.State() != StateActive {
+		t.Fatalf("state after reattach = %v, want active", res.State())
+	}
+	if got := r.netRM.Utilization(r.bott, r.k.Now()); got == 0 {
+		t.Fatal("reattach did not rebook the bottleneck")
+	}
+	if r.netRM.Enforcement(res) == nil {
+		t.Fatal("reattach did not reinstall the edge rule")
+	}
+
+	res.Cancel()
+	if got := r.netRM.Utilization(r.bott, r.k.Now()); got != 0 {
+		t.Fatalf("utilization after cancel = %v, want 0", got)
+	}
+}
+
+func TestReattachFailsWithoutCapacity(t *testing.T) {
+	r := newRig()
+	res, err := r.g.Reserve(r.netSpec(4 * units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Reattach(); err != ErrNotDegraded {
+		t.Fatalf("reattach on active reservation = %v, want ErrNotDegraded", err)
+	}
+	r.bott.SetUp(false)
+	r.bott.SetUp(true)
+	if res.State() != StateDegraded {
+		t.Fatalf("state = %v, want degraded", res.State())
+	}
+	// Someone else takes the EF capacity (5 Mb/s cap on the
+	// bottleneck) while the reservation is degraded.
+	squatter, err := r.g.Reserve(r.netSpec(5 * units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Reattach(); err == nil {
+		t.Fatal("reattach should fail: EF capacity is taken")
+	}
+	if res.State() != StateDegraded {
+		t.Fatalf("failed reattach left state %v, want degraded", res.State())
+	}
+	// Capacity frees up: the retry succeeds.
+	squatter.Cancel()
+	if err := res.Reattach(); err != nil {
+		t.Fatalf("reattach after capacity freed: %v", err)
+	}
+	if res.State() != StateActive {
+		t.Fatalf("state = %v, want active", res.State())
+	}
+}
+
+func TestDegradedReservationExpires(t *testing.T) {
+	r := newRig()
+	spec := r.netSpec(2 * units.Mbps)
+	spec.Duration = 10 * time.Second
+	res, err := r.g.Reserve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.After(5*time.Second, func() { r.bott.SetUp(false) })
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.State() != StateExpired {
+		t.Fatalf("state = %v, want expired (window ran out while degraded)", res.State())
+	}
+}

@@ -42,6 +42,12 @@ const (
 	StateExpired
 	// StateCancelled: the holder cancelled the reservation.
 	StateCancelled
+	// StateDegraded: the reserved path no longer exists (link failure
+	// or reroute); enforcement has been torn down and booked capacity
+	// released, but the handle stays repairable via Reattach.
+	// Appended after the original states so their values — baked into
+	// metrics and loops — are unchanged.
+	StateDegraded
 )
 
 func (s State) String() string {
@@ -54,6 +60,8 @@ func (s State) String() string {
 		return "expired"
 	case StateCancelled:
 		return "cancelled"
+	case StateDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -63,6 +71,8 @@ func (s State) String() string {
 var (
 	ErrNoManager     = errors.New("gara: no resource manager for type")
 	ErrNotModifiable = errors.New("gara: reservation not in a modifiable state")
+	ErrNotDegraded   = errors.New("gara: reservation is not degraded")
+	ErrNoReattach    = errors.New("gara: resource manager cannot reattach")
 )
 
 // Spec describes a requested reservation. Type selects the resource
@@ -130,7 +140,7 @@ type Gara struct {
 	managers map[ResourceType]ResourceManager
 	nextID   uint64
 
-	mTransitions [4]*metrics.Counter // indexed by State
+	mTransitions [5]*metrics.Counter // indexed by State
 	mRejects     *metrics.Counter
 	mReserved    *metrics.Counter
 	rec          *metrics.Recorder
@@ -140,7 +150,7 @@ type Gara struct {
 func New(k *sim.Kernel) *Gara {
 	g := &Gara{k: k, managers: make(map[ResourceType]ResourceManager)}
 	reg := k.Metrics()
-	for s := StatePending; s <= StateCancelled; s++ {
+	for s := StatePending; s <= StateDegraded; s++ {
 		g.mTransitions[s] = reg.Counter("gara_state_transitions_total",
 			"reservation lifecycle transitions", "state", s.String())
 	}
@@ -208,7 +218,7 @@ func (r *Reservation) OnChange(fn func(*Reservation, State)) {
 
 func (r *Reservation) transition(s State) {
 	r.state = s
-	if s >= StatePending && s <= StateCancelled {
+	if s >= StatePending && s <= StateDegraded {
 		r.g.mTransitions[s].Inc()
 	}
 	r.g.rec.Emit(metrics.EvReservationState, s.String(), int64(r.id), 0, 0)
@@ -268,13 +278,61 @@ func (r *Reservation) armEnd() {
 	}
 	r.endTimer = r.g.k.At(r.end, sim.PrioNormal, func() {
 		r.endTimer = nil
-		if r.state != StateActive {
-			return
+		switch r.state {
+		case StateActive:
+			r.rm.Deactivate(r)
+			r.rm.Release(r)
+			r.transition(StateExpired)
+		case StateDegraded:
+			// Enforcement and capacity were already torn down when the
+			// reservation degraded; the window just runs out.
+			r.transition(StateExpired)
 		}
-		r.rm.Deactivate(r)
-		r.rm.Release(r)
-		r.transition(StateExpired)
 	})
+}
+
+// Degrade marks an Active reservation as degraded: enforcement is
+// removed and booked capacity released, but the handle — unlike a
+// cancelled one — can be repaired with Reattach. Resource managers
+// call this when the reserved path no longer exists; an unbooked flow
+// must not keep riding EF ("the number of expedited packets must be
+// carefully limited"). Idempotent; a no-op unless Active.
+func (r *Reservation) Degrade() {
+	if r.state != StateActive {
+		return
+	}
+	r.rm.Deactivate(r)
+	r.rm.Release(r)
+	r.transition(StateDegraded)
+}
+
+// Reattacher is implemented by resource managers that can repair a
+// degraded reservation in place: re-admit it against the current
+// topology and reinstall enforcement.
+type Reattacher interface {
+	Reattach(r *Reservation) error
+}
+
+// Reattach repairs a degraded reservation: the manager re-admits it on
+// the current path for the remainder of the window and resumes
+// enforcement, and the reservation returns to Active. Returns
+// ErrNotDegraded if the reservation is not degraded, ErrNoReattach if
+// the manager cannot repair, or the manager's admission error (e.g.
+// the surviving path lacks capacity) — in which case the reservation
+// stays Degraded and the caller may retry later.
+func (r *Reservation) Reattach() error {
+	if r.state != StateDegraded {
+		return ErrNotDegraded
+	}
+	ra, ok := r.rm.(Reattacher)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoReattach, r.rm.Type())
+	}
+	if err := ra.Reattach(r); err != nil {
+		return err
+	}
+	r.transition(StateActive)
+	return nil
 }
 
 // Modify changes the reservation in place (e.g. a new bandwidth). The
@@ -291,7 +349,7 @@ func (r *Reservation) Modify(spec Spec) error {
 
 // Cancel releases the reservation. Idempotent.
 func (r *Reservation) Cancel() {
-	if r.state != StatePending && r.state != StateActive {
+	if r.state != StatePending && r.state != StateActive && r.state != StateDegraded {
 		return
 	}
 	if r.startTimer != nil {
@@ -305,6 +363,8 @@ func (r *Reservation) Cancel() {
 	if r.state == StateActive {
 		r.rm.Deactivate(r)
 	}
+	// A degraded reservation holds no capacity, but Release is
+	// idempotent, so call it unconditionally.
 	r.rm.Release(r)
 	r.transition(StateCancelled)
 }

@@ -162,7 +162,7 @@ func TestModifyBandwidth(t *testing.T) {
 	if err := res.Modify(spec); err != nil {
 		t.Fatal(err)
 	}
-	fr := res.rmData.(*diffserv.FlowReservation)
+	fr := r.netRM.Enforcement(res)
 	if fr.Rate() != 4*units.Mbps {
 		t.Fatalf("bucket rate = %v, want 4Mb/s", fr.Rate())
 	}
@@ -323,7 +323,7 @@ func TestBucketDepthPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr := res.rmData.(*diffserv.FlowReservation)
+	fr := r.netRM.Enforcement(res)
 	want := diffserv.DepthForRate(4*units.Mbps, diffserv.NormalBucketDivisor)
 	if fr.Depth() != want {
 		t.Fatalf("default depth = %v, want %v (bandwidth/40)", fr.Depth(), want)
@@ -336,7 +336,7 @@ func TestBucketDepthPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.rmData.(*diffserv.FlowReservation).Depth() != 99999 {
+	if r.netRM.Enforcement(res2).Depth() != 99999 {
 		t.Fatal("explicit depth not honoured")
 	}
 }

@@ -84,10 +84,10 @@ func TestMultiDomainReserveBooksBothSegments(t *testing.T) {
 		t.Fatal("domain 2 did not book its segment")
 	}
 	// Only the originating domain installed an edge rule.
-	if rs[0].rmData == nil {
+	if r.rm1.Enforcement(rs[0]) == nil {
 		t.Fatal("originating domain should install edge marking")
 	}
-	if rs[1].rmData != nil {
+	if r.rm2.Enforcement(rs[1]) != nil {
 		t.Fatal("transit/destination domain must not re-mark")
 	}
 	CancelAll(rs)

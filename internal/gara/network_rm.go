@@ -2,6 +2,7 @@ package gara
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mpichgq/internal/diffserv"
@@ -38,6 +39,19 @@ type NetworkRM struct {
 	// Activate installs edge marking only when the flow *originates*
 	// in this domain — transit domains honor the upstream marking.
 	Scope Scope
+
+	// active tracks reservations currently enforced, so topology
+	// changes can re-validate their booked paths.
+	active map[uint64]*Reservation
+}
+
+// netAttachment is the NetworkRM's per-reservation enforcement state,
+// carried in Reservation.rmData: the full path booked at admission
+// (for health checks after topology changes) and the installed edge
+// rule, nil for transit segments.
+type netAttachment struct {
+	hops []*netsim.Iface
+	fr   *diffserv.FlowReservation
 }
 
 // NewNetworkRM returns a manager that admits EF reservations up to
@@ -47,7 +61,7 @@ func NewNetworkRM(net *netsim.Network, domain *diffserv.Domain, efFraction float
 	if efFraction <= 0 || efFraction > 1 {
 		panic(fmt.Sprintf("gara: EF fraction %v out of (0, 1]", efFraction))
 	}
-	return &NetworkRM{
+	rm := &NetworkRM{
 		k:            net.Kernel(),
 		net:          net,
 		domain:       domain,
@@ -55,7 +69,13 @@ func NewNetworkRM(net *netsim.Network, domain *diffserv.Domain, efFraction float
 		tables:       make(map[*netsim.Iface]*SlotTable),
 		DepthDivisor: diffserv.NormalBucketDivisor,
 		Exceed:       diffserv.ExceedDrop,
+		active:       make(map[uint64]*Reservation),
 	}
+	// Re-validate enforced reservations whenever the topology changes.
+	// Healthy runs never trigger this: links only change state under
+	// fault injection.
+	net.OnTopologyChange(rm.checkPaths)
+	return rm
 }
 
 // Type implements ResourceManager.
@@ -96,6 +116,12 @@ func (rm *NetworkRM) path(src, dst netsim.Addr) ([]*netsim.Iface, *netsim.Iface,
 		out := node.RouteTo(dst)
 		if out == nil {
 			return nil, nil, fmt.Errorf("gara: no route from %q toward %d", node.Name(), dst)
+		}
+		if !out.Link().Up() {
+			// Bandwidth cannot be promised across a dead link; with
+			// static routing this makes admission (and reattach) fail
+			// until the link returns or routes are recomputed.
+			return nil, nil, fmt.Errorf("gara: link %s on the path is down", out.Link().Name())
 		}
 		hops = append(hops, out)
 		if edgeIngress == nil {
@@ -179,11 +205,23 @@ func (rm *NetworkRM) Activate(r *Reservation) error {
 	if err != nil {
 		return err
 	}
-	if rm.Scope != nil && !rm.Scope(hops[0]) {
-		return nil // transit domain
+	att := &netAttachment{hops: hops}
+	if rm.Scope == nil || rm.Scope(hops[0]) {
+		att.fr = rm.domain.ReserveFlow(edgeIngress, r.spec.Flow, r.spec.Bandwidth, rm.depthFor(r.spec), rm.Exceed)
 	}
-	fr := rm.domain.ReserveFlow(edgeIngress, r.spec.Flow, r.spec.Bandwidth, rm.depthFor(r.spec), rm.Exceed)
-	r.rmData = fr
+	// Transit domains install no rule but still track the reservation:
+	// their booked hops can break too.
+	r.rmData = att
+	rm.active[r.id] = r
+	return nil
+}
+
+// Enforcement returns the edge rule installed for r, or nil (transit
+// segment or not active). Inspection/test helper.
+func (rm *NetworkRM) Enforcement(r *Reservation) *diffserv.FlowReservation {
+	if att, ok := r.rmData.(*netAttachment); ok && att != nil {
+		return att.fr
+	}
 	return nil
 }
 
@@ -203,9 +241,10 @@ func (rm *NetworkRM) owned(hops []*netsim.Iface) []*netsim.Iface {
 
 // Deactivate implements ResourceManager.
 func (rm *NetworkRM) Deactivate(r *Reservation) {
-	if fr, ok := r.rmData.(*diffserv.FlowReservation); ok && fr != nil {
-		fr.Remove()
-		r.rmData = nil
+	delete(rm.active, r.id)
+	if att, ok := r.rmData.(*netAttachment); ok && att != nil && att.fr != nil {
+		att.fr.Remove()
+		att.fr = nil
 	}
 }
 
@@ -244,7 +283,7 @@ func (rm *NetworkRM) Modify(r *Reservation, spec Spec) error {
 	r.spec = spec
 	r.start, r.end = start, end
 	if r.state == StateActive {
-		if fr, ok := r.rmData.(*diffserv.FlowReservation); ok && fr != nil {
+		if fr := rm.Enforcement(r); fr != nil {
 			fr.SetRate(spec.Bandwidth)
 			fr.SetDepth(rm.depthFor(spec))
 		}
@@ -254,6 +293,99 @@ func (rm *NetworkRM) Modify(r *Reservation, spec Spec) error {
 		}
 		r.armEnd()
 	}
+	return nil
+}
+
+// checkPaths re-validates every enforced reservation after a topology
+// change: a reservation whose booked path contains a down link, or
+// whose current route no longer matches the booked hops, is degraded
+// (enforcement removed, capacity released). Reservations are visited
+// in id order so fault handling stays deterministic.
+func (rm *NetworkRM) checkPaths() {
+	ids := make([]uint64, 0, len(rm.active))
+	for id := range rm.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := rm.active[id]
+		if r == nil || r.state != StateActive {
+			continue
+		}
+		if !rm.pathHealthy(r) {
+			r.Degrade() // Deactivate drops it from rm.active
+		}
+	}
+}
+
+// pathHealthy reports whether r's booked hops are all in service and
+// still what the routing tables would choose.
+func (rm *NetworkRM) pathHealthy(r *Reservation) bool {
+	att, ok := r.rmData.(*netAttachment)
+	if !ok || att == nil {
+		return true // nothing booked to go stale
+	}
+	for _, out := range att.hops {
+		if !out.Link().Up() {
+			return false
+		}
+	}
+	src, dst, err := specPath(r.spec)
+	if err != nil {
+		return true
+	}
+	hops, _, err := rm.path(src, dst)
+	if err != nil {
+		return false // destination became unreachable
+	}
+	if len(hops) != len(att.hops) {
+		return false
+	}
+	for i := range hops {
+		if hops[i] != att.hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reattach implements Reattacher: re-admit the reservation on the
+// current path for the remainder of its window and reinstall edge
+// enforcement. Fails (leaving the reservation degraded and unbooked)
+// when the surviving path lacks EF capacity.
+func (rm *NetworkRM) Reattach(r *Reservation) error {
+	src, dst, err := specPath(r.spec)
+	if err != nil {
+		return err
+	}
+	hops, edgeIngress, err := rm.path(src, dst)
+	if err != nil {
+		return err
+	}
+	owned := rm.owned(hops)
+	if len(owned) == 0 {
+		return ErrNotInDomain
+	}
+	start := r.start
+	if now := rm.k.Now(); start < now {
+		start = now // book only the remaining window
+	}
+	var booked []*netsim.Iface
+	for _, out := range owned {
+		if err := rm.table(out).Insert(r.id, start, r.end, float64(r.spec.Bandwidth)); err != nil {
+			for _, b := range booked {
+				rm.table(b).Remove(r.id)
+			}
+			return fmt.Errorf("gara: reattach failed on link %s: %w", out.Link().Name(), err)
+		}
+		booked = append(booked, out)
+	}
+	att := &netAttachment{hops: hops}
+	if rm.Scope == nil || rm.Scope(hops[0]) {
+		att.fr = rm.domain.ReserveFlow(edgeIngress, r.spec.Flow, r.spec.Bandwidth, rm.depthFor(r.spec), rm.Exceed)
+	}
+	r.rmData = att
+	rm.active[r.id] = r
 	return nil
 }
 

@@ -43,6 +43,17 @@ type Options struct {
 	EFFraction float64
 	// Seed for the simulation kernel. Default 1.
 	Seed int64
+	// BackupPaths adds a lower-capacity standby path around the
+	// edge1-core bottleneck (via a "backup" router), gives every
+	// AddSite a second WAN path, and enables automatic re-routing so
+	// traffic fails over when a primary link goes down. Off by
+	// default: the paper's testbed is single-homed, and static routing
+	// keeps healthy-run results byte-identical.
+	BackupPaths bool
+	// BackupRate is the bottleneck standby path's capacity (default
+	// LinkRate/4). Site backup paths use a quarter of their own WAN
+	// rate.
+	BackupRate units.BitRate
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +83,9 @@ type Testbed struct {
 	PremSrc, PremDst   *netsim.Node
 	CompSrc, CompDst   *netsim.Node
 	Edge1, Core, Edge2 *netsim.Node
+	// Backup is the standby router parallel to the bottleneck; nil
+	// unless Options.BackupPaths.
+	Backup *netsim.Node
 
 	// Bottleneck is the edge1-core link every cross-testbed flow
 	// shares.
@@ -111,10 +125,26 @@ func NewWithOptions(o Options) *Testbed {
 	n.Connect(tb.Core, tb.Edge2, o.LinkRate, o.HopDelay)
 	n.Connect(tb.Edge2, tb.PremDst, o.AccessRate, o.HopDelay)
 	n.Connect(tb.Edge2, tb.CompDst, o.AccessRate, o.HopDelay)
+	if o.BackupPaths {
+		// Standby path around the bottleneck. Connected after the
+		// primary links and one hop longer, so shortest-path routing
+		// only chooses it when the bottleneck is down.
+		bakRate := o.BackupRate
+		if bakRate == 0 {
+			bakRate = o.LinkRate / 4
+		}
+		tb.Backup = n.AddNode("backup")
+		n.Connect(tb.Edge1, tb.Backup, bakRate, o.HopDelay)
+		n.Connect(tb.Backup, tb.Core, bakRate, o.HopDelay)
+		n.SetAutoReroute(true)
+	}
 	n.ComputeRoutes()
 
 	tb.Domain = diffserv.NewDomain(k)
 	tb.Domain.EnableEFAll(tb.Edge1, tb.Core, tb.Edge2)
+	if tb.Backup != nil {
+		tb.Domain.EnableEFAll(tb.Backup)
+	}
 
 	tb.Gara = gara.New(k)
 	tb.NetRM = gara.NewNetworkRM(n, tb.Domain, o.EFFraction)
@@ -140,6 +170,21 @@ func (tb *Testbed) AddSite(name string, wanRate units.BitRate, wanDelay time.Dur
 	host := tb.Net.AddNode(name + "-host")
 	tb.Net.Connect(tb.Core, edge, wanRate, wanDelay)
 	tb.Net.Connect(edge, host, tb.opts.AccessRate, tb.opts.HopDelay)
+	if tb.opts.BackupPaths {
+		// Second WAN path at a quarter of the primary's capacity,
+		// one hop longer so it only carries traffic during failover.
+		bak := tb.Net.AddNode(name + "-bak")
+		tb.Net.Connect(tb.Core, bak, wanRate/4, wanDelay)
+		tb.Net.Connect(bak, edge, wanRate/4, wanDelay)
+		tb.Domain.EnableEFAll(bak)
+		// The failover variant must enforce reservations along the
+		// whole protected path, so the core's new WAN-facing ports
+		// (toward this site's edge and backup routers) get priority
+		// queues too. EnableEF is idempotent for the ports that
+		// already have them. The single-homed testbed keeps the
+		// paper's plain-FIFO core ports.
+		tb.Domain.EnableEFAll(tb.Core)
+	}
 	tb.Net.ComputeRoutes()
 	tb.Domain.EnableEFAll(edge)
 	return host

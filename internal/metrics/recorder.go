@@ -51,6 +51,19 @@ const (
 	// Subject=rank, V1=payload bytes, V2=communicator context ID,
 	// V3=one-way latency in ns (0 if unknown).
 	EvMPIRecv
+	// EvLinkDown: a link left service. Subject=link name, V1=packets
+	// queued on side A at the transition, V2=packets queued on side B.
+	EvLinkDown
+	// EvLinkUp: a link returned to service. Subject=link name,
+	// V1=packets queued on side A, V2=packets queued on side B.
+	EvLinkUp
+	// EvFaultInject: a fault-injection scenario applied an action.
+	// Subject=action name, V1/V2 are action-specific.
+	EvFaultInject
+	// EvQosRepair: the self-healing QoS agent acted. Subject=phase
+	// ("breach", "repair", "fallback", "upgrade"), V1=rank,
+	// V2=communicator context ID, V3=phase-specific detail.
+	EvQosRepair
 	evSentinel // keep last
 )
 
@@ -67,6 +80,10 @@ var eventTypeNames = [...]string{
 	EvTCPTimeout:        "tcp-timeout",
 	EvDeadlineMiss:      "deadline-miss",
 	EvMPIRecv:           "mpi-recv",
+	EvLinkDown:          "link.down",
+	EvLinkUp:            "link.up",
+	EvFaultInject:       "fault-inject",
+	EvQosRepair:         "qos-repair",
 }
 
 // String returns the event type's wire name (used by exporters).

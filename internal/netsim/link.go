@@ -45,6 +45,7 @@ type Iface struct {
 	txBytes      int64
 	egressDrops  uint64
 	ingressDrops uint64
+	downDrops    uint64
 
 	// busy accumulates serialization time for the utilization gauge.
 	busy time.Duration
@@ -56,6 +57,7 @@ type Iface struct {
 	mTxBytes      *metrics.Counter
 	mEgressDrops  *metrics.Counter
 	mIngressDrops *metrics.Counter
+	mDownDrops    *metrics.Counter
 	rec           *metrics.Recorder
 }
 
@@ -79,6 +81,14 @@ func (i *Iface) SetQueue(q Queue) {
 
 // AddIngress appends an ingress filter.
 func (i *Iface) AddIngress(f IngressFilter) { i.ingress = append(i.ingress, f) }
+
+// InsertIngress prepends an ingress filter, giving it highest
+// precedence. Fault injectors use this so that simulated wire loss
+// happens before DiffServ classification sees (and polices) the
+// packet.
+func (i *Iface) InsertIngress(f IngressFilter) {
+	i.ingress = append([]IngressFilter{f}, i.ingress...)
+}
 
 // ClearIngress removes all ingress filters.
 func (i *Iface) ClearIngress() { i.ingress = nil }
@@ -118,17 +128,13 @@ func (i *Iface) enqueue(p *Packet) bool {
 }
 
 func (i *Iface) tryTransmit() {
-	if i.transmitting {
+	if i.transmitting || i.link.down {
+		// A down link pauses the transmitter: queued packets are
+		// retained and resume on SetUp(true).
 		return
 	}
 	p := i.queue.Dequeue()
 	if p == nil {
-		return
-	}
-	if i.link.down {
-		// Discard and keep draining: a dead link blackholes traffic.
-		i.link.downDrops++
-		i.tryTransmit()
 		return
 	}
 	i.transmitting = true
@@ -137,6 +143,13 @@ func (i *Iface) tryTransmit() {
 	i.busy += txTime
 	k.AfterPrio(txTime, sim.PrioNet, func() {
 		i.transmitting = false
+		if i.link.down {
+			// The carrier dropped mid-frame: the packet in flight is
+			// lost, attributed to the transmitting direction.
+			i.downDrops++
+			i.mDownDrops.Inc()
+			return
+		}
 		i.txPackets++
 		i.txBytes += int64(p.Size)
 		i.mTxPackets.Inc()
@@ -174,6 +187,7 @@ func (i *Iface) Stats() IfaceStats {
 		TxBytes:      i.txBytes,
 		EgressDrops:  i.egressDrops,
 		IngressDrops: i.ingressDrops,
+		DownDrops:    i.downDrops,
 		QueueLen:     i.queue.Len(),
 	}
 }
@@ -184,7 +198,10 @@ type IfaceStats struct {
 	TxBytes      int64
 	EgressDrops  uint64
 	IngressDrops uint64
-	QueueLen     int
+	// DownDrops counts packets lost in flight because the link left
+	// service while they were being serialized in this direction.
+	DownDrops uint64
+	QueueLen  int
 }
 
 // Link is a full-duplex point-to-point link with symmetric rate and
@@ -197,30 +214,39 @@ type Link struct {
 	delay time.Duration
 	down  bool
 
-	downDrops uint64
+	rec *metrics.Recorder
 }
 
-// SetUp brings the link up or down. While down, packets are discarded
-// at transmission time (both directions); bringing the link back up
-// resumes service of whatever is still queued. Routing is static, so
-// traffic does not fail over — the failure is visible to transports
-// as loss, as on a real unprotected circuit.
+// SetUp brings the link up or down. While down, both transmitters
+// pause: queued packets are retained and resume when the link comes
+// back up. Only a packet caught mid-serialization at the down
+// transition is lost (counted as a down-drop on its direction), as on
+// a real circuit losing carrier. Each transition emits a link.up /
+// link.down flight-recorder event and notifies the network so
+// failover routing (when enabled) can recompute paths.
 func (l *Link) SetUp(up bool) {
-	if l.down != up {
-		return // no change
+	if l.down == !up {
+		return // no change: repeated calls must not re-emit events
 	}
 	l.down = !up
 	if up {
+		l.rec.Emit(metrics.EvLinkUp, l.name,
+			int64(l.a.queue.Len()), int64(l.b.queue.Len()), 0)
 		l.a.tryTransmit()
 		l.b.tryTransmit()
+	} else {
+		l.rec.Emit(metrics.EvLinkDown, l.name,
+			int64(l.a.queue.Len()), int64(l.b.queue.Len()), 0)
 	}
+	l.net.linkStateChanged(l)
 }
 
 // Up reports whether the link is in service.
 func (l *Link) Up() bool { return !l.down }
 
-// DownDrops returns packets discarded while the link was down.
-func (l *Link) DownDrops() uint64 { return l.downDrops }
+// DownDrops returns packets lost in flight at down transitions,
+// summed over both directions.
+func (l *Link) DownDrops() uint64 { return l.a.downDrops + l.b.downDrops }
 
 // Name returns the link name ("n1-n2").
 func (l *Link) Name() string { return l.name }
@@ -272,6 +298,15 @@ func (n *Network) Connect(n1, n2 *Node, rate units.BitRate, delay time.Duration)
 	l.b = &Iface{node: n2, link: l, side: 1, queue: NewDropTail(DefaultQueueCap)}
 	l.a.attachMetrics()
 	l.b.attachMetrics()
+	l.rec = n.k.Metrics().Events()
+	n.k.Metrics().GaugeFunc("netsim_link_up",
+		"1 while the link is in service, 0 while down",
+		func() float64 {
+			if l.down {
+				return 0
+			}
+			return 1
+		}, "link", l.name)
 	n1.ifaces = append(n1.ifaces, l.a)
 	n2.ifaces = append(n2.ifaces, l.b)
 	n.links = append(n.links, l)
@@ -293,6 +328,8 @@ func (i *Iface) attachMetrics() {
 		"packets rejected by the egress queue", "iface", i.label)
 	i.mIngressDrops = reg.Counter("netsim_ingress_drops_total",
 		"packets dropped by ingress filters", "iface", i.label)
+	i.mDownDrops = reg.Counter("netsim_down_drops_total",
+		"packets lost in flight when the link left service", "iface", i.label)
 	reg.GaugeFunc("netsim_queue_depth_packets",
 		"packets currently queued for egress",
 		func() float64 { return float64(i.queue.Len()) }, "iface", i.label)

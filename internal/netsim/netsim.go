@@ -134,6 +134,9 @@ type Network struct {
 	links    []*Link
 	nextAddr Addr
 	nextPkt  uint64
+
+	autoReroute   bool
+	topoObservers []func()
 }
 
 // New returns an empty network on kernel k.
@@ -175,6 +178,55 @@ func (n *Network) Nodes() []*Node { return n.nodes }
 
 // Links returns all links in creation order.
 func (n *Network) Links() []*Link { return n.links }
+
+// Link returns the link with the given name ("n1-n2"), or nil.
+func (n *Network) Link(name string) *Link {
+	for _, l := range n.links {
+		if l.name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// SetAutoReroute controls whether link state transitions trigger an
+// automatic RecomputeRoutes. Off by default: without a backup path a
+// recompute cannot help, and static routing keeps healthy-run results
+// byte-identical to earlier versions.
+func (n *Network) SetAutoReroute(on bool) { n.autoReroute = on }
+
+// OnTopologyChange registers f to run after every link state change
+// (and after RecomputeRoutes, if auto-reroute is enabled). Resource
+// managers use this to re-validate reserved paths.
+func (n *Network) OnTopologyChange(f func()) {
+	n.topoObservers = append(n.topoObservers, f)
+}
+
+// RecomputeRoutes clears every routing table and rebuilds it from the
+// current topology, skipping down links, then notifies topology
+// observers.
+func (n *Network) RecomputeRoutes() {
+	for _, nd := range n.nodes {
+		nd.routes = make(map[Addr]*Iface)
+	}
+	n.ComputeRoutes()
+	n.notifyTopology()
+}
+
+// linkStateChanged is called by Link.SetUp after a transition.
+func (n *Network) linkStateChanged(_ *Link) {
+	if n.autoReroute {
+		n.RecomputeRoutes() // notifies observers itself
+		return
+	}
+	n.notifyTopology()
+}
+
+func (n *Network) notifyTopology() {
+	for _, f := range n.topoObservers {
+		f()
+	}
+}
 
 func (n *Network) nextPacketID() uint64 {
 	n.nextPkt++

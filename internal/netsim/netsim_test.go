@@ -287,7 +287,7 @@ func TestLoopbackDelivery(t *testing.T) {
 	}
 }
 
-func TestLinkDownBlackholes(t *testing.T) {
+func TestLinkDownPausesTransmit(t *testing.T) {
 	k, n, a, b := twoNodes(10*units.Mbps, time.Millisecond)
 	l := n.Links()[0]
 	received := 0
@@ -296,21 +296,26 @@ func TestLinkDownBlackholes(t *testing.T) {
 		a.Send(&Packet{Src: a.Addr(), Dst: b.Addr(), Proto: ProtoUDP, Size: 500})
 	}
 	send()
+	var queuedAtOutage int
 	k.After(time.Second, func() {
 		l.SetUp(false)
 		if l.Up() {
 			t.Error("link should be down")
 		}
-		send()
+		send() // queued, not lost: transmitter is paused
+		queuedAtOutage = a.Ifaces()[0].Stats().QueueLen
 	})
 	k.After(2*time.Second, func() { l.SetUp(true); send() })
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if received != 2 {
-		t.Fatalf("received %d packets, want 2 (one blackholed)", received)
+	if queuedAtOutage != 1 {
+		t.Fatalf("queued during outage = %d, want 1", queuedAtOutage)
 	}
-	if l.DownDrops() != 1 {
-		t.Fatalf("DownDrops = %d, want 1", l.DownDrops())
+	if received != 3 {
+		t.Fatalf("received %d packets, want 3 (queued packet resumes on SetUp)", received)
+	}
+	if l.DownDrops() != 0 {
+		t.Fatalf("DownDrops = %d, want 0 (no packet was mid-frame at the transition)", l.DownDrops())
 	}
 }

@@ -179,7 +179,7 @@ func (n *Network) ComputeRoutes() {
 			queue = queue[1:]
 			for _, iface := range cur.ifaces {
 				peer := iface.peer()
-				if peer == nil || visited[peer.node] {
+				if peer == nil || !iface.link.Up() || visited[peer.node] {
 					continue
 				}
 				visited[peer.node] = true
