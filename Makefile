@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench results figures examples clean
+.PHONY: all build vet test test-short test-chaos bench results figures examples clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ test:
 test-short:
 	$(GO) test ./... -short -timeout 600s
 
+# Control-plane chaos soak: crash/restart and lossy-channel tests under
+# the race detector. Seeds are fixed in the tests, so runs are
+# reproducible.
+test-chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Soak|Crash|Breaker|Gate' \
+		./internal/ctrlplane/... ./internal/faults/... ./internal/gara/... ./internal/core/... \
+		-timeout 900s
+
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx -timeout 1800s .
 
@@ -35,6 +43,7 @@ figures:
 	$(GO) run ./cmd/garnet -exp fig8 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp fig9 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figF -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp figG -svgdir docs/figures >/dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

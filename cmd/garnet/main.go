@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|table1|isvsds|latency|ablations|all
+//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|table1|isvsds|latency|ablations|all
 //	       [-scale 1.0] [-seed 1] [-svgdir dir]
 //	garnet -topology
 package main
@@ -25,7 +25,7 @@ import (
 var svgDir string
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, table1, isvsds, latency, ablations, all")
+	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, figG, table1, isvsds, latency, ablations, all")
 	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
@@ -95,6 +95,8 @@ func main() {
 			runFig9(cfg)
 		case "figF":
 			runFigF(cfg)
+		case "figG":
+			runFigG(cfg)
 		case "table1":
 			fmt.Print(experiments.Table1Render(experiments.RunTable1(cfg)))
 		case "isvsds":
@@ -121,7 +123,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "table1", "isvsds", "latency", "ablations"} {
+		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "figG", "table1", "isvsds", "latency", "ablations"} {
 			fmt.Printf("=== %s ===\n", id)
 			run(id)
 			fmt.Println()
@@ -206,6 +208,38 @@ func runFigF(cfg experiments.Config) {
 		Title:  "Figure F: self-healing QoS through a WAN link flap",
 		XLabel: "time (s)", YLabel: "goodput (Kb/s)",
 		Series: []trace.Series{r.NoQoS.Series, r.Static.Series, r.Healed.Series},
+	})
+}
+
+func runFigG(cfg experiments.Config) {
+	r := experiments.RunFigureG(cfg)
+	fmt.Println("Figure G: two-domain co-reservation over a lossy control plane (with one RM crash/restart)")
+	fmt.Print(experiments.FigureGTable(r).String())
+	rate := func(pts []experiments.FigureGPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, 100*p.Loss)
+			ys = append(ys, 100*p.SuccessRate)
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	leak := func(pts []experiments.FigureGPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, 100*p.Loss)
+			ys = append(ys, p.LeakMB)
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	writeSVG("figG-success", trace.Plot{
+		Title:  "Figure G: co-reservation success vs control-channel loss",
+		XLabel: "control-channel loss (%)", YLabel: "success rate (%)",
+		Series: []trace.Series{rate(r.TwoPhase, "two-phase + leases"), rate(r.Naive, "naive")},
+	})
+	writeSVG("figG-leak", trace.Plot{
+		Title:  "Figure G: orphaned EF capacity vs control-channel loss",
+		XLabel: "control-channel loss (%)", YLabel: "capacity leak (MB)",
+		Series: []trace.Series{leak(r.TwoPhase, "two-phase + leases"), leak(r.Naive, "naive")},
 	})
 }
 

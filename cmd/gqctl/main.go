@@ -8,11 +8,16 @@
 //	gqctl [-at 5s,15s,25s]
 //	gqctl metrics [-format prom|json] [-until 25s]
 //	gqctl events [-type tcp-segment] [-subject prem-src] [-n 50]
+//	gqctl ctrl [-seed 1] [-until 20s] [-loss 0.25]
 //
 // The metrics and events subcommands run the same scenario and then
 // dump the observability layer: metrics renders the registry in
 // Prometheus text or JSON snapshot format; events lists the flight
-// recorder (see docs/observability.md).
+// recorder (see docs/observability.md). The ctrl subcommand runs a
+// two-domain co-reservation workload over a lossy control plane and
+// dumps its health: breaker states, retry/timeout counters,
+// outstanding leases, and journal positions (see
+// docs/control-plane.md).
 package main
 
 import (
@@ -40,6 +45,9 @@ func main() {
 			return
 		case "events":
 			eventsCmd(os.Args[2:])
+			return
+		case "ctrl":
+			ctrlCmd(os.Args[2:])
 			return
 		}
 	}

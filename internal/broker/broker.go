@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mpichgq/internal/gara"
+	"mpichgq/internal/metrics"
 	"mpichgq/internal/units"
 )
 
@@ -53,7 +54,13 @@ type Broker struct {
 	policies map[Principal]Policy
 	fallback Policy
 	active   map[Principal][]*gara.Reservation
-	log      []Decision
+	// seen remembers the state each tracked reservation was last
+	// reconciled in, so a quota release is logged exactly once per
+	// transition.
+	seen map[*gara.Reservation]gara.State
+	log  []Decision
+
+	mReleased *metrics.Counter
 }
 
 // New returns a broker over g. The fallback policy applies to
@@ -64,6 +71,9 @@ func New(g *gara.Gara, fallback Policy) *Broker {
 		policies: make(map[Principal]Policy),
 		fallback: fallback,
 		active:   make(map[Principal][]*gara.Reservation),
+		seen:     make(map[*gara.Reservation]gara.State),
+		mReleased: g.Kernel().Metrics().Counter("broker_quota_released_total",
+			"reservations whose principal quota was released by reconciliation"),
 	}
 }
 
@@ -80,11 +90,17 @@ func (b *Broker) PolicyFor(p Principal) Policy {
 
 // Usage returns the principal's currently committed network bandwidth
 // and CPU fraction (pending advance reservations count: they hold
-// slot-table capacity).
+// slot-table capacity). Degraded reservations are excluded — a
+// degraded handle holds no booked capacity, so its quota is released
+// until a Reattach brings it back — but they stay tracked, so a
+// successful repair re-charges the principal.
 func (b *Broker) Usage(p Principal) (units.BitRate, float64) {
 	var bw units.BitRate
 	var cpu float64
 	for _, r := range b.live(p) {
+		if r.State() == gara.StateDegraded {
+			continue
+		}
 		switch r.Spec().Type {
 		case gara.ResourceNetwork:
 			bw += r.Spec().Bandwidth
@@ -95,16 +111,58 @@ func (b *Broker) Usage(p Principal) (units.BitRate, float64) {
 	return bw, cpu
 }
 
-// live prunes finished reservations and returns the remainder.
+// live reconciles the principal's ledger against the reservations'
+// actual states: terminal handles (expired, or cancelled — whether by
+// the holder or by crash recovery) are pruned and degraded ones
+// retained but flagged, each transition audited once and counted in
+// broker_quota_released_total.
 func (b *Broker) live(p Principal) []*gara.Reservation {
 	kept := b.active[p][:0]
 	for _, r := range b.active[p] {
-		if s := r.State(); s == gara.StateActive || s == gara.StatePending {
+		s := r.State()
+		switch s {
+		case gara.StateActive, gara.StatePending:
 			kept = append(kept, r)
+		case gara.StateDegraded:
+			// Repairable: keep tracking, but the quota is free.
+			kept = append(kept, r)
+			b.noteRelease(p, r, s)
+		default:
+			b.noteRelease(p, r, s)
+			delete(b.seen, r)
+		}
+		if _, tracked := b.seen[r]; tracked {
+			b.seen[r] = s
 		}
 	}
 	b.active[p] = kept
 	return kept
+}
+
+// noteRelease logs a quota release the first time a reservation is
+// seen in a non-chargeable state. A degraded handle that is repaired
+// and degrades again is logged again: each transition releases quota.
+func (b *Broker) noteRelease(p Principal, r *gara.Reservation, s gara.State) {
+	if b.seen[r] == s {
+		return
+	}
+	b.mReleased.Inc()
+	b.log = append(b.log, Decision{
+		T: b.g.Kernel().Now(), Who: p, Spec: r.Spec(),
+		Reason: fmt.Sprintf("reconciled: reservation %s, quota released", s),
+	})
+}
+
+// Reconcile sweeps every principal's ledger once, releasing quota held
+// by degraded or externally-cancelled reservations (e.g. a recovery
+// pass on a crashed resource manager cancelling leases behind the
+// broker's back). Usage and Request reconcile lazily on their own;
+// Reconcile is for callers that want the audit log and gauge current
+// without issuing a request.
+func (b *Broker) Reconcile() {
+	for p := range b.active {
+		b.live(p)
+	}
 }
 
 // Request submits a reservation on behalf of a principal. Policy
@@ -142,6 +200,7 @@ func (b *Broker) Request(who Principal, spec gara.Spec) (*gara.Reservation, erro
 		return nil, err
 	}
 	b.active[who] = append(b.active[who], r)
+	b.seen[r] = r.State()
 	b.log = append(b.log, Decision{T: now, Who: who, Spec: spec, Granted: true, Reason: "admitted"})
 	return r, nil
 }

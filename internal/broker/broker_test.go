@@ -1,11 +1,13 @@
 package broker
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"mpichgq/internal/diffserv"
 	"mpichgq/internal/dsrt"
+	"mpichgq/internal/faults"
 	"mpichgq/internal/gara"
 	"mpichgq/internal/garnet"
 	"mpichgq/internal/netsim"
@@ -140,6 +142,68 @@ func TestDecisionLog(t *testing.T) {
 	}
 	if log[1].Reason == "" {
 		t.Fatal("denial should carry a reason")
+	}
+}
+
+// Quota reconciliation: a degraded reservation (fault on the reserved
+// path) holds no capacity, so its quota is released while it stays
+// tracked for repair; a repaired handle is charged again; a handle
+// cancelled behind the broker's back (crash recovery) is pruned.
+func TestReconcileReleasesDegradedAndRecoveredQuota(t *testing.T) {
+	tb := garnet.New(1)
+	faults.NewScenario("flap").Flap("edge1-core", time.Second, 5*time.Second).MustApply(tb.Net)
+	b := New(tb.Gara, Policy{MaxBandwidth: 10 * units.Mbps, MaxDuration: time.Hour})
+	r, err := b.Request("alice", netSpec(tb, 10*units.Mbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw, _ := b.Usage("alice"); bw != 10*units.Mbps {
+		t.Fatalf("usage = %v, want 10 Mb/s", bw)
+	}
+
+	// Fault degrades the reservation: quota released, handle retained.
+	tb.K.RunUntil(2 * time.Second)
+	if r.State() != gara.StateDegraded {
+		t.Fatalf("state = %v, want degraded after the link fault", r.State())
+	}
+	if bw, _ := b.Usage("alice"); bw != 0 {
+		t.Fatalf("degraded usage = %v, want 0 (quota released)", bw)
+	}
+	if n, ok := tb.K.Metrics().CounterValue("broker_quota_released_total"); !ok || n != 1 {
+		t.Fatalf("broker_quota_released_total = %d (ok=%v), want 1", n, ok)
+	}
+	found := false
+	for _, d := range b.Decisions() {
+		if d.Who == "alice" && !d.Granted && strings.Contains(d.Reason, "reconciled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no reconciliation entry in the audit log")
+	}
+
+	// Link returns; repair re-charges the principal — the broker must
+	// still be tracking the handle.
+	tb.K.RunUntil(6 * time.Second)
+	if err := r.Reattach(); err != nil {
+		t.Fatal(err)
+	}
+	if bw, _ := b.Usage("alice"); bw != 10*units.Mbps {
+		t.Fatalf("post-repair usage = %v, want 10 Mb/s (handle lost by reconciliation?)", bw)
+	}
+
+	// A recovery pass cancels the reservation without telling the
+	// broker; Reconcile notices, releases the quota, prunes the handle.
+	r.Cancel()
+	b.Reconcile()
+	if n, _ := tb.K.Metrics().CounterValue("broker_quota_released_total"); n != 2 {
+		t.Fatalf("broker_quota_released_total = %d, want 2", n)
+	}
+	if bw, _ := b.Usage("alice"); bw != 0 {
+		t.Fatalf("post-cancel usage = %v, want 0", bw)
+	}
+	if _, err := b.Request("alice", netSpec(tb, 10*units.Mbps)); err != nil {
+		t.Fatalf("quota not freed for a new reservation: %v", err)
 	}
 }
 

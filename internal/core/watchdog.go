@@ -20,7 +20,21 @@ const (
 	phaseRepair   = "repair"
 	phaseFallback = "fallback"
 	phaseUpgrade  = "upgrade"
+	phaseGated    = "gated"
 )
+
+// RepairGate lets an external health signal veto repair attempts — in
+// practice a control-plane circuit breaker (ctrlplane.Breaker): when
+// the domain's RM is timing out, hammering it with reservation calls
+// only makes things worse. A gated attempt counts as a failure, so a
+// watchdog stuck behind an open breaker still falls back to best
+// effort instead of hot-looping against a dead RM. The interface is
+// defined here (not in ctrlplane) so core does not depend on the
+// control plane.
+type RepairGate interface {
+	// Allow reports whether a repair attempt may proceed now.
+	Allow() bool
+}
 
 // Watchdog is the self-healing extension of the QoS agent: it watches
 // a premium communicator's achieved goodput (from the metrics layer,
@@ -53,6 +67,10 @@ type Watchdog struct {
 	FallbackAfter int
 	// Backoff paces repair attempts.
 	Backoff *Backoff
+	// Gate, when set, is consulted before each repair attempt; a
+	// refusal counts as a failed attempt (driving fallback) without
+	// touching the resource manager.
+	Gate RepairGate
 
 	fc        *nws.Forecaster
 	recv      *metrics.Counter
@@ -171,6 +189,23 @@ func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
 	failures := 0
 	fellBack := false
 	for k.Now() < deadline && !w.stopped {
+		if w.Gate != nil && !w.Gate.Allow() {
+			// The control plane is known-bad; don't hammer it. The
+			// skipped attempt still counts toward fallback.
+			w.rec.Emit(metrics.EvQosRepair, phaseGated,
+				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			failures++
+			if !fellBack && failures >= w.FallbackAfter {
+				be := QosAttribute{Class: BestEffort}
+				_ = w.agent.Apply(w.rank, w.comm, &be)
+				fellBack = true
+				w.fallbacks++
+				w.rec.Emit(metrics.EvQosRepair, phaseFallback,
+					int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			}
+			ctx.Sleep(w.Backoff.Next())
+			continue
+		}
 		if w.tryRestore() {
 			phase := phaseRepair
 			if fellBack {

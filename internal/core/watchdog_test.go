@@ -16,8 +16,11 @@ import (
 // healingRun streams a 10 Mb/s premium flow under blaster contention
 // through a bottleneck flap [downAt, upAt), with or without the
 // self-healing watchdog, and returns the payload bytes received after
-// measureFrom plus the watchdog (nil when heal is false).
-func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Duration) (units.ByteSize, *Watchdog) {
+// measureFrom plus the watchdog (nil when heal is false). mkGate, when
+// non-nil, builds a RepairGate for the watchdog from the testbed's
+// kernel (the control-plane breaker hookup).
+func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Duration,
+	mkGate func(*sim.Kernel) RepairGate) (units.ByteSize, *Watchdog) {
 	t.Helper()
 	const target = 10 * units.Mbps
 	const msg = 25 * units.KB
@@ -49,6 +52,9 @@ func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Dur
 				if err != nil {
 					t.Error(err)
 					return
+				}
+				if mkGate != nil {
+					wd.Gate = mkGate(tb.K)
 				}
 				w = wd
 				ctx.SpawnChild("watchdog", func(wctx *sim.Ctx) {
@@ -84,8 +90,8 @@ func TestWatchdogRepairsAfterFlap(t *testing.T) {
 	const downAt, upAt = 6 * time.Second, 10 * time.Second
 	const measureFrom, dur = 12 * time.Second, 20 * time.Second
 	window := dur - measureFrom
-	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur)
-	plain, _ := healingRun(t, false, downAt, upAt, measureFrom, dur)
+	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur, nil)
+	plain, _ := healingRun(t, false, downAt, upAt, measureFrom, dur, nil)
 	healedRate := units.RateOf(healed, window)
 	plainRate := units.RateOf(plain, window)
 	if w.Repairs()+w.Upgrades() < 1 {
@@ -111,7 +117,7 @@ func TestWatchdogFallsBackThenUpgrades(t *testing.T) {
 	// the capped interval, and upgrades once the link returns.
 	const downAt, upAt = 6 * time.Second, 16 * time.Second
 	const measureFrom, dur = 19 * time.Second, 26 * time.Second
-	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur)
+	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur, nil)
 	if w.Fallbacks() != 1 {
 		t.Fatalf("fallbacks = %d, want 1", w.Fallbacks())
 	}

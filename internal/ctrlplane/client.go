@@ -1,0 +1,177 @@
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	gq "mpichgq/internal/core"
+	"mpichgq/internal/metrics"
+	"mpichgq/internal/sim"
+)
+
+// Errors a Call can fail with locally (as opposed to an error the
+// server answered).
+var (
+	// ErrBreakerOpen: the per-RM circuit breaker rejected the call
+	// without sending anything.
+	ErrBreakerOpen = errors.New("ctrlplane: circuit breaker open")
+	// ErrDeadline: no reply arrived within the call deadline across
+	// all retries.
+	ErrDeadline = errors.New("ctrlplane: call deadline exceeded")
+)
+
+// Conn is the coordinator's client stub for one domain: it sends
+// requests over the lossy channel pair and implements the reliability
+// layer — per-attempt timeout, deadline-bounded retries paced by
+// gq.Backoff, and the circuit breaker. Retries reuse the request ID,
+// so the server's reply cache keeps retried operations idempotent.
+type Conn struct {
+	k    *sim.Kernel
+	name string
+	srv  *Server
+	// toSrv carries requests, fromSrv replies; loss on either leg
+	// looks identical to the client (a timeout).
+	toSrv, fromSrv *Chan
+
+	// Timeout is the per-attempt reply timeout.
+	Timeout time.Duration
+	// Deadline is the total budget for one Call across all retries.
+	Deadline time.Duration
+	// Backoff paces the retries.
+	Backoff *gq.Backoff
+	// Breaker, when set, short-circuits calls while the RM is bad.
+	Breaker *Breaker
+
+	nextReq uint64
+	waiting map[uint64]*pendingCall
+
+	mAttempts, mRetries, mTimeouts, mFailures, mRejected *metrics.Counter
+	rec                                                  *metrics.Recorder
+}
+
+type pendingCall struct {
+	cond *sim.Cond
+	resp *response
+}
+
+// NewConn wires a client stub for srv over the given channel pair.
+func NewConn(k *sim.Kernel, srv *Server, toSrv, fromSrv *Chan,
+	timeout, deadline time.Duration, backoff *gq.Backoff, breaker *Breaker) *Conn {
+	reg := k.Metrics()
+	name := srv.Name()
+	return &Conn{
+		k: k, name: name, srv: srv, toSrv: toSrv, fromSrv: fromSrv,
+		Timeout: timeout, Deadline: deadline, Backoff: backoff, Breaker: breaker,
+		waiting: make(map[uint64]*pendingCall),
+		mAttempts: reg.Counter("ctrl_rpc_attempts_total",
+			"control RPC attempts (including retries)", "rm", name),
+		mRetries: reg.Counter("ctrl_rpc_retries_total",
+			"control RPC retransmissions", "rm", name),
+		mTimeouts: reg.Counter("ctrl_rpc_timeouts_total",
+			"control RPC attempts that timed out", "rm", name),
+		mFailures: reg.Counter("ctrl_rpc_failures_total",
+			"control RPCs abandoned at their deadline", "rm", name),
+		mRejected: reg.Counter("ctrl_rpc_breaker_rejects_total",
+			"control RPCs rejected by an open circuit breaker", "rm", name),
+		rec: reg.Events(),
+	}
+}
+
+// Name returns the domain this stub talks to.
+func (c *Conn) Name() string { return c.name }
+
+// Server returns the wrapped server (tests and gqctl reach through).
+func (c *Conn) Server() *Server { return c.srv }
+
+// call runs one reliable request/reply exchange from inside a sim
+// process. It retries under the per-attempt Timeout until the Deadline
+// and trips the breaker bookkeeping on the way.
+func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) {
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		c.mRejected.Inc()
+		c.rec.Emit(metrics.EvCtrlRPC, method, 0, 0, rpcRejected)
+		return response{}, fmt.Errorf("%w (rm %s)", ErrBreakerOpen, c.name)
+	}
+	c.nextReq++
+	req.reqID = c.nextReq
+	req.method = method
+	deadline := c.k.Now() + c.Deadline
+	pc := &pendingCall{cond: sim.NewCond(c.k)}
+	c.waiting[req.reqID] = pc
+	defer delete(c.waiting, req.reqID)
+	c.Backoff.Reset()
+	for attempt := 1; ; attempt++ {
+		c.mAttempts.Inc()
+		c.transmit(req)
+		wait := c.Timeout
+		if remain := deadline - c.k.Now(); wait > remain {
+			wait = remain
+		}
+		if wait > 0 {
+			pc.cond.WaitTimeout(ctx, wait)
+		}
+		if pc.resp != nil {
+			if c.Breaker != nil {
+				c.Breaker.Success()
+			}
+			c.rec.Emit(metrics.EvCtrlRPC, method, int64(req.reqID), int64(attempt), rpcOK)
+			return *pc.resp, nil
+		}
+		c.mTimeouts.Inc()
+		c.rec.Emit(metrics.EvCtrlRPC, method, int64(req.reqID), int64(attempt), rpcTimeout)
+		if c.k.Now() >= deadline {
+			// The breaker counts whole failed calls, not individual
+			// attempt timeouts: retries absorbing channel loss are the
+			// reliability layer working, while a call that burns its
+			// entire deadline means the RM itself is unresponsive.
+			c.mFailures.Inc()
+			if c.Breaker != nil {
+				c.Breaker.Failure()
+			}
+			return response{}, fmt.Errorf("%w (rm %s, %s, %d attempts)",
+				ErrDeadline, c.name, method, attempt)
+		}
+		sleep := c.Backoff.Next()
+		if over := c.k.Now() + sleep; over > deadline {
+			sleep = deadline - c.k.Now()
+		}
+		if sleep > 0 {
+			ctx.Sleep(sleep)
+		}
+		c.mRetries.Inc()
+	}
+}
+
+// transmit ships req to the server and wires the reply path. The
+// server handles the request when the channel delivers it; a crashed
+// server produces no reply at all.
+func (c *Conn) transmit(req request) {
+	c.toSrv.send(req.reqID, func() {
+		resp, alive := c.srv.handle(req)
+		if !alive {
+			return
+		}
+		c.fromSrv.send(req.reqID, func() { c.deliver(resp) })
+	})
+}
+
+// deliver completes a pending call; late and duplicate replies (the
+// call already answered, timed out, or abandoned) are dropped.
+func (c *Conn) deliver(resp response) {
+	pc := c.waiting[resp.reqID]
+	if pc == nil || pc.resp != nil {
+		return
+	}
+	r := resp
+	pc.resp = &r
+	pc.cond.Broadcast()
+}
+
+// rpcError converts a server-side refusal into an error.
+func rpcError(resp response) error {
+	if resp.ok {
+		return nil
+	}
+	return errors.New(resp.errText)
+}

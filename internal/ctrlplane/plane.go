@@ -1,0 +1,162 @@
+package ctrlplane
+
+import (
+	"time"
+
+	gq "mpichgq/internal/core"
+	"mpichgq/internal/faults"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/sim"
+)
+
+// Options tunes a Plane's channels and reliability layer. Zero values
+// take the defaults noted per field.
+type Options struct {
+	// Delay is the one-way control-channel delay (default 5ms — a
+	// wide-area control connection, not a LAN).
+	Delay time.Duration
+	// Jitter is the channel delay's multiplicative noise (default 0.1).
+	Jitter float64
+	// Timeout is the client's per-attempt reply timeout (default
+	// 4×Delay + 10ms).
+	Timeout time.Duration
+	// Deadline is the per-call retry budget (default 8×Timeout).
+	Deadline time.Duration
+	// BreakerThreshold trips the per-RM breaker after this many
+	// consecutive failures (default 4).
+	BreakerThreshold int
+	// BreakerCooldown holds the breaker open this long (default 2s).
+	BreakerCooldown time.Duration
+	// LeaseTTL is the coordinator's prepare-lease length (default
+	// 2×Deadline×domains at Coordinator build time; 0 here defers to
+	// gara.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delay <= 0 {
+		o.Delay = 5 * time.Millisecond
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 4*o.Delay + 10*time.Millisecond
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 8 * o.Timeout
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 4
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	return o
+}
+
+// Plane assembles the control plane for a set of administrative
+// domains: per-domain channel pairs, servers, breakers, and client
+// stubs, plus the faults.CtrlResolver hook so chaos scenarios can
+// impair any domain by name.
+type Plane struct {
+	k     *sim.Kernel
+	opts  Options
+	names []string
+	conns map[string]*Conn
+}
+
+// Plane resolves control-plane fault targets.
+var _ faults.CtrlResolver = (*Plane)(nil)
+
+// NewPlane returns an empty control plane with the given options.
+func NewPlane(k *sim.Kernel, opts Options) *Plane {
+	return &Plane{k: k, opts: opts.withDefaults(), conns: make(map[string]*Conn)}
+}
+
+// AddDomain wires one administrative domain into the plane: its Gara
+// and NetworkRM go behind a Server, reached through a fresh channel
+// pair, client stub, and circuit breaker. The RM gets a journal if it
+// does not have one (crash recovery needs it). Returns the stub.
+func (p *Plane) AddDomain(name string, g *gara.Gara, rm *gara.NetworkRM) *Conn {
+	if _, dup := p.conns[name]; dup {
+		panic("ctrlplane: duplicate domain " + name)
+	}
+	if rm.Journal == nil {
+		rm.Journal = gara.NewJournal()
+	}
+	srv := NewServer(p.k, name, g, rm)
+	toSrv := newChan(p.k, name+"/req", p.opts.Delay, p.opts.Jitter)
+	fromSrv := newChan(p.k, name+"/rep", p.opts.Delay, p.opts.Jitter)
+	breaker := NewBreaker(p.k, name, p.opts.BreakerThreshold, p.opts.BreakerCooldown)
+	backoff := gq.NewBackoff(sim.NewRNG(p.k.RNG().Int63()),
+		p.opts.Timeout/2, 4*p.opts.Timeout)
+	conn := NewConn(p.k, srv, toSrv, fromSrv, p.opts.Timeout, p.opts.Deadline, backoff, breaker)
+	p.names = append(p.names, name)
+	p.conns[name] = conn
+	return conn
+}
+
+// Names returns the domain names in the order added.
+func (p *Plane) Names() []string {
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// Conn returns the named domain's client stub, or nil.
+func (p *Plane) Conn(name string) *Conn { return p.conns[name] }
+
+// Server returns the named domain's server, or nil.
+func (p *Plane) Server(name string) *Server {
+	if c := p.conns[name]; c != nil {
+		return c.srv
+	}
+	return nil
+}
+
+// Breaker returns the named domain's circuit breaker, or nil.
+func (p *Plane) Breaker(name string) *Breaker {
+	if c := p.conns[name]; c != nil {
+		return c.Breaker
+	}
+	return nil
+}
+
+// Coordinator builds a two-phase coordinator over every domain, in the
+// order added. The lease TTL is Options.LeaseTTL, or — when unset —
+// twice the worst-case protocol round (Deadline per call, two calls
+// per domain), so healthy-but-slow commits never lose their lease.
+func (p *Plane) Coordinator() *Coordinator {
+	conns := make([]*Conn, 0, len(p.names))
+	for _, n := range p.names {
+		conns = append(conns, p.conns[n])
+	}
+	co := NewCoordinator(conns...)
+	co.LeaseTTL = p.opts.LeaseTTL
+	if co.LeaseTTL <= 0 {
+		co.LeaseTTL = 2 * p.opts.Deadline * time.Duration(2*len(conns))
+	}
+	return co
+}
+
+// ctrlTarget adapts one domain to faults.CtrlTarget.
+type ctrlTarget struct{ conn *Conn }
+
+func (t *ctrlTarget) SetCtrlLoss(prob float64) {
+	t.conn.toSrv.SetLoss(prob)
+	t.conn.fromSrv.SetLoss(prob)
+}
+func (t *ctrlTarget) CtrlCrash() { t.conn.srv.Crash() }
+func (t *ctrlTarget) CtrlRestart() {
+	_, _ = t.conn.srv.Restart()
+}
+
+// CtrlTarget implements faults.CtrlResolver.
+func (p *Plane) CtrlTarget(name string) faults.CtrlTarget {
+	c := p.conns[name]
+	if c == nil {
+		return nil
+	}
+	return &ctrlTarget{conn: c}
+}

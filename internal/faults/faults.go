@@ -38,7 +38,34 @@ const (
 	actLossEnd     = "loss-end"
 	actCorruptDrop = "corrupt"
 	actLossDrop    = "loss"
+	actCtrlLoss    = "ctrl-loss"
+	actCtrlLossEnd = "ctrl-loss-end"
+	actCtrlCrash   = "ctrl-crash"
+	actCtrlRestart = "ctrl-restart"
 )
+
+// CtrlTarget is one domain's control-plane endpoint as the fault
+// injector sees it: message loss on its control channel, and crash/
+// restart of its resource-manager server. Implemented by
+// ctrlplane.Plane targets; defined here so faults does not import
+// ctrlplane.
+type CtrlTarget interface {
+	// SetCtrlLoss sets the control channel's per-message drop
+	// probability (both directions); 0 restores a reliable channel.
+	SetCtrlLoss(prob float64)
+	// CtrlCrash kills the domain's RM server (in-flight and future
+	// requests are silently dropped; RM state is lost).
+	CtrlCrash()
+	// CtrlRestart brings the RM server back, replaying its journal.
+	CtrlRestart()
+}
+
+// CtrlResolver resolves control-plane targets by domain name at Apply
+// time, the way links and nodes resolve against the network.
+type CtrlResolver interface {
+	// CtrlTarget returns the named domain's endpoint, or nil.
+	CtrlTarget(name string) CtrlTarget
+}
 
 // action is one scheduled fault event.
 type action struct {
@@ -119,6 +146,30 @@ func (s *Scenario) Corrupt(link string, from, to time.Duration, prob float64) *S
 	return s
 }
 
+// CtrlLoss schedules a window [from, to) of control-message loss on
+// the named domain's control channel: each request or reply is dropped
+// with probability prob. Scenarios using control-plane actions must be
+// applied with ApplyWith.
+func (s *Scenario) CtrlLoss(domain string, from, to time.Duration, prob float64) *Scenario {
+	s.actions = append(s.actions, action{
+		at: from, until: to, kind: actCtrlLoss, target: domain, prob: prob,
+	})
+	return s
+}
+
+// CtrlCrash schedules the named domain's RM server to crash at t.
+func (s *Scenario) CtrlCrash(t time.Duration, domain string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actCtrlCrash, target: domain})
+	return s
+}
+
+// CtrlRestart schedules the named domain's RM server to restart (and
+// replay its journal) at t.
+func (s *Scenario) CtrlRestart(t time.Duration, domain string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actCtrlRestart, target: domain})
+	return s
+}
+
 // Injection is a scenario applied to one network: it tracks the
 // scheduled timers and impairment filters so tests can inspect drop
 // counts.
@@ -143,8 +194,16 @@ func (in *Injection) CorruptDrops() uint64 { return in.corruptDrops }
 // link and node exists, so a typo fails fast instead of silently
 // injecting nothing. Randomness is drawn from a dedicated RNG seeded
 // from the kernel's, keeping fault draws independent of (and the run
-// reproducible alongside) other stochastic components.
+// reproducible alongside) other stochastic components. Scenarios with
+// control-plane actions must use ApplyWith.
 func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
+	return s.ApplyWith(net, nil)
+}
+
+// ApplyWith is Apply plus a control-plane resolver for CtrlLoss /
+// CtrlCrash / CtrlRestart actions (nil is allowed when the scenario
+// has none).
+func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection, error) {
 	k := net.Kernel()
 	in := &Injection{
 		net: net,
@@ -188,6 +247,37 @@ func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
 				return nil, fmt.Errorf("faults: scenario %q: no link %q", s.name, a.target)
 			}
 			in.installImpairment(l, a)
+		case actCtrlLoss, actCtrlCrash, actCtrlRestart:
+			if ctrl == nil {
+				return nil, fmt.Errorf("faults: scenario %q has control-plane actions; use ApplyWith", s.name)
+			}
+			t := ctrl.CtrlTarget(a.target)
+			if t == nil {
+				return nil, fmt.Errorf("faults: scenario %q: no control-plane domain %q", s.name, a.target)
+			}
+			switch a.kind {
+			case actCtrlLoss:
+				k.At(a.at, sim.PrioNormal, func() {
+					in.rec.Emit(metrics.EvFaultInject, actCtrlLoss, int64(a.prob*1e6), 0, 0)
+					t.SetCtrlLoss(a.prob)
+				})
+				if a.until > a.at {
+					k.At(a.until, sim.PrioNormal, func() {
+						in.rec.Emit(metrics.EvFaultInject, actCtrlLossEnd, 0, 0, 0)
+						t.SetCtrlLoss(0)
+					})
+				}
+			case actCtrlCrash:
+				k.At(a.at, sim.PrioNormal, func() {
+					in.rec.Emit(metrics.EvFaultInject, actCtrlCrash, 0, 0, 0)
+					t.CtrlCrash()
+				})
+			case actCtrlRestart:
+				k.At(a.at, sim.PrioNormal, func() {
+					in.rec.Emit(metrics.EvFaultInject, actCtrlRestart, 0, 0, 0)
+					t.CtrlRestart()
+				})
+			}
 		default:
 			panic("faults: unknown action kind " + a.kind)
 		}
@@ -199,6 +289,15 @@ func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
 // scenarios are static.
 func (s *Scenario) MustApply(net *netsim.Network) *Injection {
 	in, err := s.Apply(net)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// MustApplyWith is ApplyWith panicking on error.
+func (s *Scenario) MustApplyWith(net *netsim.Network, ctrl CtrlResolver) *Injection {
+	in, err := s.ApplyWith(net, ctrl)
 	if err != nil {
 		panic(err)
 	}

@@ -140,10 +140,14 @@ type Gara struct {
 	managers map[ResourceType]ResourceManager
 	nextID   uint64
 
-	mTransitions [5]*metrics.Counter // indexed by State
-	mRejects     *metrics.Counter
-	mReserved    *metrics.Counter
-	rec          *metrics.Recorder
+	mTransitions  [5]*metrics.Counter // indexed by State
+	mRejects      *metrics.Counter
+	mReserved     *metrics.Counter
+	mPrepares     *metrics.Counter
+	mCommits      *metrics.Counter
+	mAborts       *metrics.Counter
+	mLeaseExpired *metrics.Counter
+	rec           *metrics.Recorder
 }
 
 // New returns a Gara with no managers registered.
@@ -158,6 +162,14 @@ func New(k *sim.Kernel) *Gara {
 		"reservation requests refused by admission control")
 	g.mReserved = reg.Counter("gara_reservations_total",
 		"reservations admitted")
+	g.mPrepares = reg.Counter("gara_prepares_total",
+		"two-phase reservations prepared (capacity held under lease)")
+	g.mCommits = reg.Counter("gara_prepare_commits_total",
+		"prepared reservations committed")
+	g.mAborts = reg.Counter("gara_prepare_aborts_total",
+		"prepared reservations aborted before commit")
+	g.mLeaseExpired = reg.Counter("gara_leases_expired_total",
+		"prepared reservations reclaimed by lease expiry")
 	g.rec = reg.Events()
 	return g
 }
@@ -243,16 +255,29 @@ func (g *Gara) Reserve(spec Spec) (*Reservation, error) {
 		return nil, err
 	}
 	g.mReserved.Inc()
+	if err := r.begin(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// begin starts an admitted reservation's lifecycle: immediate
+// activation (or, for an advance reservation, a Pending state with a
+// start timer). Shared by Reserve and Prepared.Commit. On an
+// immediate-activation failure the booked capacity is released and
+// the error returned.
+func (r *Reservation) begin() error {
+	g := r.g
 	if r.start <= g.k.Now() {
-		if err := rm.Activate(r); err != nil {
-			rm.Release(r)
-			return nil, err
+		if err := r.rm.Activate(r); err != nil {
+			r.rm.Release(r)
+			return err
 		}
 		// A fresh handle has no callbacks yet, so transition only
 		// records the state and its metrics.
 		r.transition(StateActive)
 		r.armEnd()
-		return r, nil
+		return nil
 	}
 	r.transition(StatePending)
 	r.startTimer = g.k.At(r.start, sim.PrioNormal, func() {
@@ -269,7 +294,7 @@ func (g *Gara) Reserve(spec Spec) (*Reservation, error) {
 		r.transition(StateActive)
 		r.armEnd()
 	})
-	return r, nil
+	return nil
 }
 
 func (r *Reservation) armEnd() {

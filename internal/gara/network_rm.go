@@ -39,16 +39,30 @@ type NetworkRM struct {
 	// Activate installs edge marking only when the flow *originates*
 	// in this domain — transit domains honor the upstream marking.
 	Scope Scope
+	// Name identifies this manager in flight-recorder events and
+	// metrics labels ("netrm" by default; multi-domain setups name
+	// each RM after its domain).
+	Name string
+	// Journal, when set, write-ahead logs every booking operation so
+	// Recover can rebuild the RM's state after Crash. Nil disables
+	// journaling (the healthy-path default: zero overhead).
+	Journal *Journal
 
 	// active tracks reservations currently enforced, so topology
 	// changes can re-validate their booked paths.
 	active map[uint64]*Reservation
+	// attach holds per-reservation enforcement state keyed by id —
+	// the state a crash wipes and Recover rebuilds.
+	attach map[uint64]*netAttachment
+	// leases tracks prepared (uncommitted) bookings by absolute lease
+	// expiry, so recovery can reconcile half-prepared bookings.
+	leases map[uint64]time.Duration
 }
 
 // netAttachment is the NetworkRM's per-reservation enforcement state,
-// carried in Reservation.rmData: the full path booked at admission
-// (for health checks after topology changes) and the installed edge
-// rule, nil for transit segments.
+// kept in NetworkRM.attach keyed by reservation id: the full path
+// booked at admission (for health checks after topology changes) and
+// the installed edge rule, nil for transit segments.
 type netAttachment struct {
 	hops []*netsim.Iface
 	fr   *diffserv.FlowReservation
@@ -69,7 +83,10 @@ func NewNetworkRM(net *netsim.Network, domain *diffserv.Domain, efFraction float
 		tables:       make(map[*netsim.Iface]*SlotTable),
 		DepthDivisor: diffserv.NormalBucketDivisor,
 		Exceed:       diffserv.ExceedDrop,
+		Name:         "netrm",
 		active:       make(map[uint64]*Reservation),
+		attach:       make(map[uint64]*netAttachment),
+		leases:       make(map[uint64]time.Duration),
 	}
 	// Re-validate enforced reservations whenever the topology changes.
 	// Healthy runs never trigger this: links only change state under
@@ -174,13 +191,21 @@ func (rm *NetworkRM) Admit(r *Reservation) error {
 		}
 		booked = append(booked, out)
 	}
+	rm.journal(JournalRecord{Op: OpBook, ID: r.id, Spec: spec, Start: r.start, End: r.end})
 	return nil
 }
 
 // Release implements ResourceManager.
 func (rm *NetworkRM) Release(r *Reservation) {
+	removed := false
 	for _, st := range rm.tables {
-		st.Remove(r.id)
+		if st.Remove(r.id) {
+			removed = true
+		}
+	}
+	delete(rm.leases, r.id)
+	if removed {
+		rm.journal(JournalRecord{Op: OpRelease, ID: r.id})
 	}
 }
 
@@ -211,15 +236,16 @@ func (rm *NetworkRM) Activate(r *Reservation) error {
 	}
 	// Transit domains install no rule but still track the reservation:
 	// their booked hops can break too.
-	r.rmData = att
+	rm.attach[r.id] = att
 	rm.active[r.id] = r
+	rm.journal(JournalRecord{Op: OpActivate, ID: r.id, Edge: att.fr != nil})
 	return nil
 }
 
 // Enforcement returns the edge rule installed for r, or nil (transit
 // segment or not active). Inspection/test helper.
 func (rm *NetworkRM) Enforcement(r *Reservation) *diffserv.FlowReservation {
-	if att, ok := r.rmData.(*netAttachment); ok && att != nil {
+	if att := rm.attach[r.id]; att != nil {
 		return att.fr
 	}
 	return nil
@@ -241,11 +267,17 @@ func (rm *NetworkRM) owned(hops []*netsim.Iface) []*netsim.Iface {
 
 // Deactivate implements ResourceManager.
 func (rm *NetworkRM) Deactivate(r *Reservation) {
+	att := rm.attach[r.id]
+	if att == nil && rm.active[r.id] == nil {
+		return
+	}
 	delete(rm.active, r.id)
-	if att, ok := r.rmData.(*netAttachment); ok && att != nil && att.fr != nil {
+	delete(rm.attach, r.id)
+	if att != nil && att.fr != nil {
 		att.fr.Remove()
 		att.fr = nil
 	}
+	rm.journal(JournalRecord{Op: OpDeactivate, ID: r.id})
 }
 
 // Modify implements ResourceManager: rebook the path slots at the new
@@ -282,6 +314,7 @@ func (rm *NetworkRM) Modify(r *Reservation, spec Spec) error {
 	}
 	r.spec = spec
 	r.start, r.end = start, end
+	rm.journal(JournalRecord{Op: OpBook, ID: r.id, Spec: spec, Start: start, End: end})
 	if r.state == StateActive {
 		if fr := rm.Enforcement(r); fr != nil {
 			fr.SetRate(spec.Bandwidth)
@@ -321,8 +354,8 @@ func (rm *NetworkRM) checkPaths() {
 // pathHealthy reports whether r's booked hops are all in service and
 // still what the routing tables would choose.
 func (rm *NetworkRM) pathHealthy(r *Reservation) bool {
-	att, ok := r.rmData.(*netAttachment)
-	if !ok || att == nil {
+	att := rm.attach[r.id]
+	if att == nil {
 		return true // nothing booked to go stale
 	}
 	for _, out := range att.hops {
@@ -384,8 +417,10 @@ func (rm *NetworkRM) Reattach(r *Reservation) error {
 	if rm.Scope == nil || rm.Scope(hops[0]) {
 		att.fr = rm.domain.ReserveFlow(edgeIngress, r.spec.Flow, r.spec.Bandwidth, rm.depthFor(r.spec), rm.Exceed)
 	}
-	r.rmData = att
+	rm.attach[r.id] = att
 	rm.active[r.id] = r
+	rm.journal(JournalRecord{Op: OpBook, ID: r.id, Spec: r.spec, Start: start, End: r.end})
+	rm.journal(JournalRecord{Op: OpActivate, ID: r.id, Edge: att.fr != nil})
 	return nil
 }
 

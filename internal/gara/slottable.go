@@ -14,6 +14,7 @@ package gara
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -147,3 +148,29 @@ func (st *SlotTable) TrimBefore(t time.Duration) {
 
 // Len returns the number of live slots.
 func (st *SlotTable) Len() int { return len(st.slots) }
+
+// Slot is an exported view of one admitted interval, as returned by
+// Snapshot.
+type Slot struct {
+	ID         uint64
+	Start, End time.Duration
+	Amount     float64
+}
+
+// Snapshot returns the live slots sorted by (ID, Start) — a canonical
+// form two tables can be compared in, regardless of insertion order
+// (used by crash-recovery tests to assert a rebuilt table matches the
+// original).
+func (st *SlotTable) Snapshot() []Slot {
+	out := make([]Slot, 0, len(st.slots))
+	for _, s := range st.slots {
+		out = append(out, Slot{ID: s.id, Start: s.start, End: s.end, Amount: s.amount})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}

@@ -61,9 +61,30 @@ const (
 	// Subject=action name, V1/V2 are action-specific.
 	EvFaultInject
 	// EvQosRepair: the self-healing QoS agent acted. Subject=phase
-	// ("breach", "repair", "fallback", "upgrade"), V1=rank,
+	// ("breach", "repair", "fallback", "upgrade", "gated"), V1=rank,
 	// V2=communicator context ID, V3=phase-specific detail.
 	EvQosRepair
+	// EvCtrlMsg: a control-plane message crossed (or died on) a
+	// channel. Subject=channel name, V1=request ID, V2=fate (0
+	// delivered, 1 dropped, 2 duplicated).
+	EvCtrlMsg
+	// EvCtrlRPC: a control-plane RPC attempt resolved. Subject=method,
+	// V1=request ID, V2=attempt number, V3=outcome (0 ok, 1 timeout,
+	// 2 breaker-rejected).
+	EvCtrlRPC
+	// EvCtrlBreaker: a per-RM circuit breaker changed state.
+	// Subject=new state name, V1=consecutive failures.
+	EvCtrlBreaker
+	// EvCtrlCrash: a resource manager's control-plane server crashed.
+	// Subject=server name.
+	EvCtrlCrash
+	// EvCtrlRecover: a resource manager replayed its reservation
+	// journal. Subject=server name, V1=bookings rebuilt, V2=expired
+	// leases reclaimed, V3=enforcement rules re-installed.
+	EvCtrlRecover
+	// EvCtrlLease: a prepared reservation's lease changed. Subject=
+	// "expired" or "reclaimed", V1=reservation ID.
+	EvCtrlLease
 	evSentinel // keep last
 )
 
@@ -84,6 +105,12 @@ var eventTypeNames = [...]string{
 	EvLinkUp:            "link.up",
 	EvFaultInject:       "fault-inject",
 	EvQosRepair:         "qos-repair",
+	EvCtrlMsg:           "ctrl.msg",
+	EvCtrlRPC:           "ctrl.rpc",
+	EvCtrlBreaker:       "ctrl.breaker",
+	EvCtrlCrash:         "ctrl.crash",
+	EvCtrlRecover:       "ctrl.recover",
+	EvCtrlLease:         "ctrl.lease",
 }
 
 // String returns the event type's wire name (used by exporters).
