@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos bench results figures examples clean
+.PHONY: all build vet test test-short test-chaos bench bench-json bench-guard results figures examples clean
 
 all: build vet test
 
@@ -30,6 +30,22 @@ test-chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx -timeout 1800s .
+
+# Micro + macro benchmark trajectory for this PR, committed as JSON so
+# future PRs can diff against it.
+bench-json:
+	{ $(GO) test -bench 'BenchmarkKernel|BenchmarkLinkForward|BenchmarkTCPTransfer' \
+		-benchmem -run xxx ./internal/sim/ ./internal/netsim/ ./internal/tcpsim/ ; \
+	  $(GO) test -bench BenchmarkFigure5 -benchmem -benchtime=1x -run xxx -timeout 1800s . ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
+	cat BENCH_PR4.json
+
+# Fast CI guard: the packet-forward hot path must stay at 0 allocs/op
+# and the kernel's pooled event path must stay allocation-free.
+bench-guard:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim/ ./internal/netsim/
+	$(GO) test -bench 'BenchmarkKernelAfter$$|BenchmarkLinkForward' -benchmem -run xxx \
+		./internal/sim/ ./internal/netsim/
 
 # Paper-length regeneration of every table and figure (takes a while).
 results:

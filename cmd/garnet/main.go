@@ -5,7 +5,8 @@
 // Usage:
 //
 //	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|table1|isvsds|latency|ablations|all
-//	       [-scale 1.0] [-seed 1] [-svgdir dir]
+//	       [-scale 1.0] [-seed 1] [-parallel N] [-svgdir dir]
+//	       [-cpuprofile file] [-memprofile file]
 //	garnet -topology
 package main
 
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"mpichgq/internal/experiments"
 	"mpichgq/internal/garnet"
@@ -29,8 +32,38 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
+	parallel := flag.Int("parallel", experiments.MaxParallel(),
+		"worker count for sweep experiments (output is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&svgDir, "svgdir", "", "directory to write SVG figures into (optional)")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if svgDir != "" {
 		if err := os.MkdirAll(svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -46,7 +79,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, TimeScale: *scale}
+	cfg := experiments.Config{Seed: *seed, TimeScale: *scale, Parallel: *parallel}
 	run := func(id string) {
 		switch id {
 		case "fig1":

@@ -83,7 +83,7 @@ type Task struct {
 	remaining  float64 // work-seconds still owed
 	rate       float64 // current share of the CPU
 	lastUpdate time.Duration
-	timer      *sim.Timer
+	timer      sim.Timer
 	done       *sim.Cond
 
 	// Deadline accounting for the current Compute call.
@@ -172,10 +172,7 @@ func (t *Task) Close() {
 		return
 	}
 	t.closed = true
-	if t.timer != nil {
-		t.timer.Cancel()
-		t.timer = nil
-	}
+	t.timer.Cancel()
 	if t.computing {
 		t.computing = false
 		t.done.Broadcast()
@@ -249,10 +246,7 @@ func (c *CPU) recompute() {
 			t.rate = 1
 		}
 		t.lastUpdate = now
-		if t.timer != nil {
-			t.timer.Cancel()
-			t.timer = nil
-		}
+		t.timer.Cancel()
 		if t.rate > 0 {
 			eta := time.Duration(t.remaining / t.rate * float64(time.Second))
 			if eta < time.Nanosecond {
@@ -260,7 +254,6 @@ func (c *CPU) recompute() {
 			}
 			tt := t
 			t.timer = c.k.After(eta, func() {
-				tt.timer = nil
 				tt.settle(c.k.Now())
 				if tt.computing && tt.remaining <= 1e-9 {
 					tt.finish()
@@ -275,10 +268,7 @@ func (c *CPU) recompute() {
 func (t *Task) finish() {
 	t.computing = false
 	t.remaining = 0
-	if t.timer != nil {
-		t.timer.Cancel()
-		t.timer = nil
-	}
+	t.timer.Cancel()
 	t.cpu.mComputations.Inc()
 	// A reservation of fraction f promises the work completes within
 	// work/f wall time; anything beyond (plus 1% scheduling slack) is

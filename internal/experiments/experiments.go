@@ -22,6 +22,11 @@ type Config struct {
 	// TimeScale multiplies every experiment duration (1.0 = the
 	// paper's timelines; tests use less).
 	TimeScale float64
+	// Parallel caps the worker count for sweep-style experiments
+	// (fig5, fig7, figF, figG). <= 0 means one worker per CPU. The
+	// worker count never changes experiment output, only wall-clock
+	// time: every sweep point runs on its own kernel.
+	Parallel int
 }
 
 // DefaultConfig runs experiments at paper length.

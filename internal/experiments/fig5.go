@@ -66,13 +66,33 @@ func RunFigure5(cfg Config) Figure5Result {
 		NoContention: make(map[units.ByteSize]units.BitRate),
 	}
 	dur := cfg.scale(20 * time.Second)
+	// Flatten the sweep into an explicit job list so the points can
+	// fan out across workers; reassembly below preserves the original
+	// sequential order exactly.
+	type job struct {
+		size      units.ByteSize
+		rsv       units.BitRate
+		contended bool
+	}
+	var jobs []job
 	for _, size := range res.MessageSizes {
 		for _, rsv := range Figure5Reservations {
-			p := pingPongThroughput(cfg, size, rsv, true, dur)
-			p.Reservation = rsv
-			res.Curves[size] = append(res.Curves[size], p)
+			jobs = append(jobs, job{size, rsv, true})
 		}
-		res.NoContention[size] = pingPongThroughput(cfg, size, 0, false, dur).Throughput
+		jobs = append(jobs, job{size, 0, false})
+	}
+	points := Sweep(cfg.Parallel, len(jobs), func(i int) PingPongPoint {
+		j := jobs[i]
+		p := pingPongThroughput(cfg, j.size, j.rsv, j.contended, dur)
+		p.Reservation = j.rsv
+		return p
+	})
+	for i, j := range jobs {
+		if j.contended {
+			res.Curves[j.size] = append(res.Curves[j.size], points[i])
+		} else {
+			res.NoContention[j.size] = points[i].Throughput
+		}
 	}
 	return res
 }

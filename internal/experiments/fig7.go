@@ -48,8 +48,13 @@ func RunFigure7(cfg Config) Figure7Result {
 		d.Attr.MaxMessageSize = frame
 		return d.Run(tb).SeqTrace
 	}
-	smooth := run(5*units.KB, 10) // 40 Kb frames, 10 fps
-	bursty := run(50*units.KB, 1) // 400 Kb frame, 1 fps
+	traces := Sweep(cfg.Parallel, 2, func(i int) *trace.SeqTrace {
+		if i == 0 {
+			return run(5*units.KB, 10) // 40 Kb frames, 10 fps
+		}
+		return run(50*units.KB, 1) // 400 Kb frame, 1 fps
+	})
+	smooth, bursty := traces[0], traces[1]
 	// Show one second of steady state (skip the first two: slow
 	// start and agent setup).
 	window := func(t *trace.SeqTrace) []trace.SeqPoint {

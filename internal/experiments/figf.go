@@ -83,10 +83,25 @@ func RunFigureF(cfg Config) FigureFResult {
 		Up:     cfg.scale(32 * time.Second),
 		Dur:    cfg.scale(60 * time.Second),
 	}
-	res.NoQoS, _ = runFigFCurve(cfg, "no QoS", false, false)
-	res.Static, _ = runFigFCurve(cfg, "static QoS", true, false)
-	var wd *gq.Watchdog
-	res.Healed, wd = runFigFCurve(cfg, "self-healing QoS", true, true)
+	type out struct {
+		curve FigureFCurve
+		wd    *gq.Watchdog
+	}
+	variants := []struct {
+		name          string
+		reserve, heal bool
+	}{
+		{"no QoS", false, false},
+		{"static QoS", true, false},
+		{"self-healing QoS", true, true},
+	}
+	outs := Sweep(cfg.Parallel, len(variants), func(i int) out {
+		v := variants[i]
+		c, wd := runFigFCurve(cfg, v.name, v.reserve, v.heal)
+		return out{c, wd}
+	})
+	res.NoQoS, res.Static, res.Healed = outs[0].curve, outs[1].curve, outs[2].curve
+	wd := outs[2].wd
 	res.Repairs = wd.Repairs()
 	res.Fallbacks = wd.Fallbacks()
 	res.Upgrades = wd.Upgrades()

@@ -55,10 +55,17 @@ type FigureGResult struct {
 func RunFigureG(cfg Config) FigureGResult {
 	cfg = cfg.withDefaults()
 	res := FigureGResult{Losses: []float64{0, 0.2, 0.4, 0.6}}
-	for i, loss := range res.Losses {
-		seed := cfg.Seed + int64(100*i)
-		res.TwoPhase = append(res.TwoPhase, runFigGPoint(cfg, seed, loss, true))
-		res.Naive = append(res.Naive, runFigGPoint(cfg, seed, loss, false))
+	// Two protocol variants per loss rate, every point on its own
+	// kernel. Seeds keep the historical per-loss derivation (both
+	// protocols see identical fault schedules at each loss rate).
+	points := Sweep(cfg.Parallel, 2*len(res.Losses), func(i int) FigureGPoint {
+		loss := res.Losses[i/2]
+		seed := cfg.Seed + int64(100*(i/2))
+		return runFigGPoint(cfg, seed, loss, i%2 == 0)
+	})
+	for i := range res.Losses {
+		res.TwoPhase = append(res.TwoPhase, points[2*i])
+		res.Naive = append(res.Naive, points[2*i+1])
 	}
 	return res
 }

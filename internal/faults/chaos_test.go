@@ -6,6 +6,7 @@ import (
 	"time"
 
 	gq "mpichgq/internal/core"
+	"mpichgq/internal/experiments"
 	"mpichgq/internal/faults"
 	"mpichgq/internal/garnet"
 	"mpichgq/internal/mpi"
@@ -28,8 +29,11 @@ type chaosResult struct {
 // under blaster contention through a randomized fault scenario, then
 // lets the network settle and reports the outcome. The scenario is
 // drawn from its own RNG so a fixed seed replays exactly.
+//
+// Failures report through t.Error (goroutine-safe), never t.Fatal:
+// the soak fans runs out across workers via experiments.Sweep, and
+// FailNow must only be called from the test goroutine.
 func chaosRun(t *testing.T, seed int64, nFaults int, horizon, settle time.Duration) chaosResult {
-	t.Helper()
 	const target = 10 * units.Mbps
 	const msg = 25 * units.KB
 	dur := horizon + settle
@@ -37,11 +41,13 @@ func chaosRun(t *testing.T, seed int64, nFaults int, horizon, settle time.Durati
 	links := []string{"edge1-core", "core-edge2", "prem-src-edge1"}
 	sc := faults.RandomScenario(sim.NewRNG(seed*1000+7), links, nFaults, horizon)
 	if _, err := sc.Apply(tb.Net); err != nil {
-		t.Fatal(err)
+		t.Error(err)
+		return chaosResult{}
 	}
 	bl := &trafficgen.UDPBlaster{Rate: 120 * units.Mbps, Jitter: 0.1}
 	if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
-		t.Fatal(err)
+		t.Error(err)
+		return chaosResult{}
 	}
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
 	agent := gq.NewAgent(tb.Gara, job)
@@ -94,7 +100,8 @@ func chaosRun(t *testing.T, seed int64, nFaults int, horizon, settle time.Durati
 	})
 	// Invariant: the kernel never deadlocks or errors mid-chaos.
 	if err := tb.K.RunUntil(dur); err != nil {
-		t.Fatalf("seed %d: kernel error under chaos: %v", seed, err)
+		t.Errorf("seed %d: kernel error under chaos: %v", seed, err)
+		return chaosResult{}
 	}
 	res.repairs = wd.Repairs() + wd.Upgrades()
 	// Invariant: after the last fault is repaired the agent converges
@@ -113,7 +120,7 @@ func chaosRun(t *testing.T, seed int64, nFaults int, horizon, settle time.Durati
 	now := tb.K.Now()
 	for _, l := range tb.Net.Links() {
 		if u := tb.NetRM.Utilization(l, now); u != 0 {
-			t.Fatalf("seed %d: link %s retains EF commitment %v after release",
+			t.Errorf("seed %d: link %s retains EF commitment %v after release",
 				seed, l.Name(), u)
 		}
 	}
@@ -130,10 +137,15 @@ func TestChaosSoak(t *testing.T) {
 		seeds = []int64{1, 2}
 		nFaults, horizon, settle = 3, 12*time.Second, 8*time.Second
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			res := chaosRun(t, seed, nFaults, horizon, settle)
+	// The runs fan out across workers (each on its own kernel), and
+	// the per-seed assertions then run sequentially in seed order —
+	// same invariants and output order as the old sequential sweep.
+	results := experiments.Sweep(0, len(seeds), func(i int) chaosResult {
+		return chaosRun(t, seeds[i], nFaults, horizon, settle)
+	})
+	for i, res := range results {
+		res := res
+		t.Run(fmt.Sprintf("seed%d", seeds[i]), func(t *testing.T) {
 			if res.recvBytes == 0 {
 				t.Fatal("premium flow made no progress under chaos")
 			}

@@ -103,10 +103,7 @@ func (rm *CPURM) Modify(r *Reservation, spec Spec) error {
 		if err := task.SetReservation(spec.Fraction); err != nil {
 			return err
 		}
-		if r.endTimer != nil {
-			r.endTimer.Cancel()
-			r.endTimer = nil
-		}
+		r.endTimer.Cancel()
 		r.armEnd()
 	}
 	return nil

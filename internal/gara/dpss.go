@@ -230,10 +230,7 @@ func (rm *StorageRM) Modify(r *Reservation, spec Spec) error {
 				return err
 			}
 		}
-		if r.endTimer != nil {
-			r.endTimer.Cancel()
-			r.endTimer = nil
-		}
+		r.endTimer.Cancel()
 		r.armEnd()
 	}
 	return nil

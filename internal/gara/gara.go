@@ -199,8 +199,8 @@ type Reservation struct {
 	rm    ResourceManager
 
 	start, end time.Duration
-	startTimer *sim.Timer
-	endTimer   *sim.Timer
+	startTimer sim.Timer
+	endTimer   sim.Timer
 	callbacks  []func(*Reservation, State)
 
 	// rmData carries the manager's enforcement attachment (e.g. the
@@ -281,7 +281,6 @@ func (r *Reservation) begin() error {
 	}
 	r.transition(StatePending)
 	r.startTimer = g.k.At(r.start, sim.PrioNormal, func() {
-		r.startTimer = nil
 		if r.state != StatePending {
 			return
 		}
@@ -302,7 +301,6 @@ func (r *Reservation) armEnd() {
 		return
 	}
 	r.endTimer = r.g.k.At(r.end, sim.PrioNormal, func() {
-		r.endTimer = nil
 		switch r.state {
 		case StateActive:
 			r.rm.Deactivate(r)
@@ -377,14 +375,8 @@ func (r *Reservation) Cancel() {
 	if r.state != StatePending && r.state != StateActive && r.state != StateDegraded {
 		return
 	}
-	if r.startTimer != nil {
-		r.startTimer.Cancel()
-		r.startTimer = nil
-	}
-	if r.endTimer != nil {
-		r.endTimer.Cancel()
-		r.endTimer = nil
-	}
+	r.startTimer.Cancel()
+	r.endTimer.Cancel()
 	if r.state == StateActive {
 		r.rm.Deactivate(r)
 	}

@@ -320,10 +320,7 @@ func (rm *NetworkRM) Modify(r *Reservation, spec Spec) error {
 			fr.SetRate(spec.Bandwidth)
 			fr.SetDepth(rm.depthFor(spec))
 		}
-		if r.endTimer != nil {
-			r.endTimer.Cancel()
-			r.endTimer = nil
-		}
+		r.endTimer.Cancel()
 		r.armEnd()
 	}
 	return nil

@@ -84,7 +84,7 @@ type Prepared struct {
 	r        *Reservation
 	state    PrepareState
 	leaseEnd time.Duration
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // Prepare books capacity for spec under a lease of the given TTL
@@ -143,7 +143,6 @@ func (p *Prepared) Reservation() *Reservation {
 // orphaned prepare (coordinator crash, lost abort) cannot leak booked
 // capacity.
 func (p *Prepared) expire() {
-	p.timer = nil
 	if p.state != PrepareHeld {
 		return
 	}
@@ -166,10 +165,7 @@ func (p *Prepared) Commit() (*Reservation, error) {
 	default:
 		return nil, ErrNotPrepared
 	}
-	if p.timer != nil {
-		p.timer.Cancel()
-		p.timer = nil
-	}
+	p.timer.Cancel()
 	if ln, ok := p.r.rm.(LeaseNoter); ok {
 		ln.NoteCommit(p.r.id)
 	}
@@ -190,10 +186,7 @@ func (p *Prepared) Abort() {
 		return
 	}
 	p.state = PrepareAborted
-	if p.timer != nil {
-		p.timer.Cancel()
-		p.timer = nil
-	}
+	p.timer.Cancel()
 	p.r.rm.Release(p.r)
 	p.g.mAborts.Inc()
 }

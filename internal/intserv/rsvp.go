@@ -57,7 +57,7 @@ type Session struct {
 	hops []*hopState
 	done bool
 
-	refreshTimer *sim.Timer
+	refreshTimer sim.Timer
 	// AutoRefresh keeps the soft state alive (default). Disable to
 	// observe soft-state expiry.
 	AutoRefresh bool
@@ -153,10 +153,7 @@ func (s *Session) Teardown() {
 		return
 	}
 	s.done = true
-	if s.refreshTimer != nil {
-		s.refreshTimer.Cancel()
-		s.refreshTimer = nil
-	}
+	s.refreshTimer.Cancel()
 	s.rollback()
 }
 

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mpichgq/internal/sim"
+)
+
+// benchLink builds a two-node network with one 100 Mbps link and a
+// sink handler that recycles delivered packets.
+func benchLink(tb testing.TB) (*sim.Kernel, *Network, *Node, *Node) {
+	k := sim.New(1)
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.Connect(a, b, 100*1000*1000, time.Millisecond)
+	n.ComputeRoutes()
+	b.Handle(ProtoUDP, HandlerFunc(func(p *Packet) { n.FreePacket(p) }))
+	return k, n, a, b
+}
+
+// BenchmarkLinkForward measures one packet crossing one link:
+// enqueue, serialization event, propagation event, ingress, delivery,
+// recycle. This is the simulator's innermost loop and must not
+// allocate in steady state.
+func BenchmarkLinkForward(b *testing.B) {
+	k, n, src, dst := benchLink(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.AllocPacket()
+		p.Src, p.Dst = src.Addr(), dst.Addr()
+		p.Proto = ProtoUDP
+		p.Size = 1500
+		if err := src.Send(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLinkForwardZeroAlloc is the CI guard for the packet-forward hot
+// path: once pools are warm, forwarding a packet across a link must
+// perform zero heap allocations.
+func TestLinkForwardZeroAlloc(t *testing.T) {
+	k, n, src, dst := benchLink(t)
+	send := func() {
+		p := n.AllocPacket()
+		p.Src, p.Dst = src.Addr(), dst.Addr()
+		p.Proto = ProtoUDP
+		p.Size = 1500
+		if err := src.Send(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the event, packet, and heap pools.
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
+		t.Fatalf("link forward allocates %.1f objects per packet, want 0", allocs)
+	}
+}

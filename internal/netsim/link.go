@@ -121,6 +121,7 @@ func (i *Iface) enqueue(p *Packet) bool {
 		if i.OnEgressDrop != nil {
 			i.OnEgressDrop(p)
 		}
+		i.node.net.FreePacket(p)
 		return false
 	}
 	i.tryTransmit()
@@ -141,26 +142,34 @@ func (i *Iface) tryTransmit() {
 	k := i.node.net.k
 	txTime := i.link.rate.TimeToSend(p.Size)
 	i.busy += txTime
-	k.AfterPrio(txTime, sim.PrioNet, func() {
-		i.transmitting = false
-		if i.link.down {
-			// The carrier dropped mid-frame: the packet in flight is
-			// lost, attributed to the transmitting direction.
-			i.downDrops++
-			i.mDownDrops.Inc()
-			return
-		}
-		i.txPackets++
-		i.txBytes += int64(p.Size)
-		i.mTxPackets.Inc()
-		i.mTxBytes.Add(int64(p.Size))
-		peer := i.peer()
-		k.AfterPrio(i.link.delay, sim.PrioNet, func() {
-			peer.arrive(p)
-		})
-		i.tryTransmit()
-	})
+	k.AfterPrioFunc(txTime, sim.PrioNet, ifaceTxDone, i, p)
 }
+
+// ifaceTxDone finishes serializing p on interface a0 and starts the
+// propagation event. It is a prebound AfterPrioFunc callback so the
+// per-packet forwarding path schedules without closure allocations.
+func ifaceTxDone(a0, a1 any) {
+	i := a0.(*Iface)
+	p := a1.(*Packet)
+	i.transmitting = false
+	if i.link.down {
+		// The carrier dropped mid-frame: the packet in flight is
+		// lost, attributed to the transmitting direction.
+		i.downDrops++
+		i.mDownDrops.Inc()
+		i.node.net.FreePacket(p)
+		return
+	}
+	i.txPackets++
+	i.txBytes += int64(p.Size)
+	i.mTxPackets.Inc()
+	i.mTxBytes.Add(int64(p.Size))
+	i.node.net.k.AfterPrioFunc(i.link.delay, sim.PrioNet, ifaceArrive, i.peer(), p)
+	i.tryTransmit()
+}
+
+// ifaceArrive delivers a propagated packet to the far interface.
+func ifaceArrive(a0, a1 any) { a0.(*Iface).arrive(a1.(*Packet)) }
 
 // arrive runs ingress filters and hands the packet to the node.
 func (i *Iface) arrive(p *Packet) {
@@ -173,6 +182,7 @@ func (i *Iface) arrive(p *Packet) {
 			if i.OnIngressDrop != nil {
 				i.OnIngressDrop(p)
 			}
+			i.node.net.FreePacket(p)
 			return
 		}
 		p = next

@@ -137,6 +137,9 @@ type Network struct {
 
 	autoReroute   bool
 	topoObservers []func()
+
+	// pktFree is the packet freelist; see AllocPacket.
+	pktFree []*Packet
 }
 
 // New returns an empty network on kernel k.
@@ -231,4 +234,31 @@ func (n *Network) notifyTopology() {
 func (n *Network) nextPacketID() uint64 {
 	n.nextPkt++
 	return n.nextPkt
+}
+
+// AllocPacket returns a zeroed Packet from the network's freelist, or
+// a fresh one if the freelist is empty. Paired with FreePacket it
+// keeps steady-state packet traffic allocation-free; see
+// docs/performance.md for the ownership rules.
+func (n *Network) AllocPacket() *Packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree[l-1] = nil
+		n.pktFree = n.pktFree[:l-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket resets p and returns it to the freelist. Freeing is
+// optional — an unfreed packet is simply garbage-collected — but a
+// packet must be freed at most once, by its current owner. The
+// network owns packets in flight and frees them at its drop points
+// (egress reject, down-drop, ingress drop, no-route, transit loss);
+// a protocol handler owns a delivered packet and frees it after
+// consuming it. External handlers that retain a packet must simply
+// not free it.
+func (n *Network) FreePacket(p *Packet) {
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
 }

@@ -99,7 +99,7 @@ func (nd *Node) Send(p *Packet) error {
 func (nd *Node) forward(p *Packet) error {
 	if p.Dst == nd.addr {
 		// Loopback: deliver locally without touching any link.
-		nd.net.k.AfterPrio(0, sim.PrioNet, func() { nd.receive(nil, p) })
+		nd.net.k.AfterPrioFunc(0, sim.PrioNet, nodeDeliverLocal, nd, p)
 		return nil
 	}
 	out := nd.routes[p.Dst]
@@ -107,7 +107,9 @@ func (nd *Node) forward(p *Packet) error {
 		nd.noRouteDrops++
 		nd.mNoRoute.Inc()
 		nd.rec.Emit(metrics.EvNoRoute, nd.name, int64(p.Dst), int64(p.Size), 0)
-		return &NoRouteError{Node: nd.name, Dst: p.Dst}
+		err := &NoRouteError{Node: nd.name, Dst: p.Dst}
+		nd.net.FreePacket(p)
+		return err
 	}
 	nd.txPackets++
 	nd.txBytes += int64(p.Size)
@@ -117,14 +119,21 @@ func (nd *Node) forward(p *Packet) error {
 	return nil
 }
 
+// nodeDeliverLocal is the prebound loopback-delivery callback.
+func nodeDeliverLocal(a0, a1 any) { a0.(*Node).receive(nil, a1.(*Packet)) }
+
 // receive is called when a packet arrives at one of the node's
-// interfaces (after the interface's ingress filters have run).
+// interfaces (after the interface's ingress filters have run). The
+// packet's ownership passes to the protocol handler, which frees it
+// once consumed; with no handler registered the node frees it here.
 func (nd *Node) receive(in *Iface, p *Packet) {
 	if p.Dst == nd.addr {
 		nd.rxPackets++
 		nd.rxBytes += int64(p.Size)
 		if h := nd.handlers[p.Proto]; h != nil {
 			h.HandlePacket(p)
+		} else {
+			nd.net.FreePacket(p)
 		}
 		return
 	}

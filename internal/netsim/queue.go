@@ -19,11 +19,15 @@ type Queue interface {
 }
 
 // DropTail is a FIFO queue with a byte-capacity limit; packets that
-// would overflow the buffer are dropped on arrival.
+// would overflow the buffer are dropped on arrival. The backing store
+// is a power-of-two ring buffer, so a steady enqueue/dequeue cycle
+// performs no allocation once the ring has grown to the working set.
 type DropTail struct {
 	cap   units.ByteSize
 	bytes units.ByteSize
-	pkts  []*Packet
+	ring  []*Packet
+	head  int
+	n     int
 }
 
 // NewDropTail returns a drop-tail queue holding at most capBytes of
@@ -40,25 +44,44 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.bytes+p.Size > q.cap {
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = p
+	q.n++
 	q.bytes += p.Size
 	return true
 }
 
+// grow doubles the ring, unrolling the wrapped contents into order.
+func (q *DropTail) grow() {
+	size := 2 * len(q.ring)
+	if size == 0 {
+		size = 8
+	}
+	ring := make([]*Packet, size)
+	for i := 0; i < q.n; i++ {
+		ring[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = ring
+	q.head = 0
+}
+
 // Dequeue implements Queue.
 func (q *DropTail) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
 	q.bytes -= p.Size
 	return p
 }
 
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.pkts) }
+func (q *DropTail) Len() int { return q.n }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() units.ByteSize { return q.bytes }

@@ -49,6 +49,7 @@ func (s *UDPStack) HandlePacket(p *Packet) {
 	sock := s.sockets[p.DstPort]
 	if sock == nil || sock.closed {
 		s.rxDrops++
+		s.node.net.FreePacket(p)
 		return
 	}
 	sock.inbox.Send(&Datagram{
@@ -58,6 +59,7 @@ func (s *UDPStack) HandlePacket(p *Packet) {
 		DSCP:     p.DSCP,
 		Payload:  p.Payload,
 	})
+	s.node.net.FreePacket(p)
 }
 
 // Bind opens a socket on the given port; port 0 picks an ephemeral
@@ -125,17 +127,16 @@ func (u *UDPSocket) SendTo(dst Addr, dstPort Port, payloadLen units.ByteSize, pa
 	if payloadLen < 0 {
 		return false, fmt.Errorf("netsim: negative datagram length %d", payloadLen)
 	}
-	p := &Packet{
-		Src:        u.stack.node.addr,
-		Dst:        dst,
-		SrcPort:    u.port,
-		DstPort:    dstPort,
-		Proto:      ProtoUDP,
-		DSCP:       u.dscp,
-		Size:       payloadLen + UDPHeader + IPHeader,
-		PayloadLen: payloadLen,
-		Payload:    payload,
-	}
+	p := u.stack.node.net.AllocPacket()
+	p.Src = u.stack.node.addr
+	p.Dst = dst
+	p.SrcPort = u.port
+	p.DstPort = dstPort
+	p.Proto = ProtoUDP
+	p.DSCP = u.dscp
+	p.Size = payloadLen + UDPHeader + IPHeader
+	p.PayloadLen = payloadLen
+	p.Payload = payload
 	err := u.stack.node.Send(p)
 	var noRoute *NoRouteError
 	if errors.As(err, &noRoute) {

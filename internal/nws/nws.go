@@ -157,7 +157,7 @@ type Monitor struct {
 
 	lastAcked int64
 	lastRetx  uint64
-	timer     *sim.Timer
+	timer     sim.Timer
 	stopped   bool
 }
 
@@ -217,8 +217,5 @@ func (m *Monitor) LossForecast() float64 { return m.Loss.Forecast() }
 // Stop ends sampling.
 func (m *Monitor) Stop() {
 	m.stopped = true
-	if m.timer != nil {
-		m.timer.Cancel()
-		m.timer = nil
-	}
+	m.timer.Cancel()
 }

@@ -66,7 +66,7 @@ func (c *Cond) Signal() bool {
 			continue
 		}
 		w.woken = true
-		c.k.At(c.k.now, PrioNormal, func() { c.k.step(w.p) })
+		c.k.AtFunc(c.k.now, PrioNormal, stepProc, c.k, w.p)
 		return true
 	}
 	return false

@@ -54,9 +54,13 @@ func (k *Kernel) SpawnAt(at time.Duration, name string, fn func(ctx *Ctx)) *Proc
 		}()
 		fn(ctx)
 	}()
-	k.At(at, PrioNormal, func() { k.step(p) })
+	k.AtFunc(at, PrioNormal, stepProc, k, p)
 	return p
 }
+
+// stepProc is the prebound wakeup callback shared by every sleep and
+// spawn event, so waking a process never allocates a closure.
+func stepProc(a0, a1 any) { a0.(*Kernel).step(a1.(*Proc)) }
 
 // step transfers control to process p and waits for it to block or
 // finish. It must only be called from the kernel goroutine (i.e. from
@@ -108,7 +112,7 @@ func (c *Ctx) Sleep(d time.Duration) {
 		d = 0
 	}
 	c.checkCtx()
-	c.k.At(c.k.now+d, PrioNormal, func() { c.k.step(c.p) })
+	c.k.AtFunc(c.k.now+d, PrioNormal, stepProc, c.k, c.p)
 	c.p.park()
 }
 

@@ -77,7 +77,7 @@ type Conn struct {
 	dupAcks        int
 	inRecovery     bool
 	recover        int64
-	rtxTimer       *sim.Timer
+	rtxTimer       sim.Timer
 	rto            time.Duration
 	srtt, rttvar   time.Duration
 	hasRTT         bool
@@ -89,7 +89,7 @@ type Conn struct {
 	closeRequested bool
 	finSeq         int64 // stream position of FIN, -1 until Close
 	finAcked       bool
-	persistTimer   *sim.Timer
+	persistTimer   sim.Timer
 	lastSend       time.Duration // last data transmission (for SSR)
 
 	// Receiver.
@@ -102,7 +102,7 @@ type Conn struct {
 	rcvCond    *sim.Cond
 	peerFin    int64 // seq of peer's FIN, -1 if none
 	eof        bool
-	delack     *sim.Timer
+	delack     sim.Timer
 	unacked    int // segments received since last ACK sent
 
 	stats ConnStats
@@ -449,7 +449,8 @@ func (c *Conn) abort(err error) {
 	if c.state == stateClosed {
 		return
 	}
-	seg := &segment{flags: flagRST, seq: c.sndNxt}
+	seg := c.stack.allocSeg()
+	seg.flags, seg.seq = flagRST, c.sndNxt
 	c.sendSegment(seg)
 	c.destroy(err)
 }
@@ -463,18 +464,9 @@ func (c *Conn) destroy(err error) {
 	if c.err == nil {
 		c.err = err
 	}
-	if c.rtxTimer != nil {
-		c.rtxTimer.Cancel()
-		c.rtxTimer = nil
-	}
-	if c.delack != nil {
-		c.delack.Cancel()
-		c.delack = nil
-	}
-	if c.persistTimer != nil {
-		c.persistTimer.Cancel()
-		c.persistTimer = nil
-	}
+	c.rtxTimer.Cancel()
+	c.delack.Cancel()
+	c.persistTimer.Cancel()
 	delete(c.stack.conns, connKey{localPort: c.lport, remoteAddr: c.raddr, remotePort: c.rport})
 	c.established.Broadcast()
 	c.sndCond.Broadcast()

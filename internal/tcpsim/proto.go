@@ -10,15 +10,22 @@ import (
 
 // sendFlags transmits a zero-length control segment.
 func (c *Conn) sendFlags(flags uint8, seq, ack int64) {
-	c.sendSegment(&segment{flags: flags, seq: seq, ack: ack, wnd: c.advertisedWnd()})
+	seg := c.stack.allocSeg()
+	seg.flags, seg.seq, seg.ack, seg.wnd = flags, seq, ack, c.advertisedWnd()
+	c.sendSegment(seg)
+}
+
+// sendFin transmits the FIN|ACK segment at stream position seq.
+func (c *Conn) sendFin(seq int64) {
+	seg := c.stack.allocSeg()
+	seg.flags = flagFIN | flagACK
+	seg.seq, seg.ack, seg.wnd = seq, c.rcvNxt, c.advertisedWnd()
+	c.sendDataSegment(seg)
 }
 
 // sendAck transmits a pure ACK for the current receive state.
 func (c *Conn) sendAck() {
-	if c.delack != nil {
-		c.delack.Cancel()
-		c.delack = nil
-	}
+	c.delack.Cancel()
 	c.unacked = 0
 	c.sendFlags(flagACK, c.sndNxt, c.rcvNxt)
 }
@@ -35,29 +42,32 @@ func (c *Conn) scheduleAck() {
 		c.sendAck()
 		return
 	}
-	if c.delack == nil {
-		c.delack = c.stack.k.After(40*time.Millisecond, func() {
-			c.delack = nil
-			if c.unacked > 0 {
-				c.sendAck()
-			}
-		})
+	if !c.delack.Pending() {
+		c.delack = c.stack.k.AfterFunc(40*time.Millisecond, connDelack, c, nil)
+	}
+}
+
+// connDelack is the prebound delayed-ACK callback; scheduling it
+// through AfterFunc avoids a closure allocation per armed timer.
+func connDelack(a0, _ any) {
+	c := a0.(*Conn)
+	if c.unacked > 0 {
+		c.sendAck()
 	}
 }
 
 // sendSegment wraps a segment into a packet and hands it to the node.
 func (c *Conn) sendSegment(seg *segment) {
-	p := &netsim.Packet{
-		Src:        c.LocalAddr(),
-		Dst:        c.raddr,
-		SrcPort:    c.lport,
-		DstPort:    c.rport,
-		Proto:      netsim.ProtoTCP,
-		DSCP:       c.dscp,
-		Size:       seg.length + netsim.TCPHeader + netsim.IPHeader,
-		PayloadLen: seg.length,
-		Payload:    seg,
-	}
+	p := c.stack.node.Network().AllocPacket()
+	p.Src = c.LocalAddr()
+	p.Dst = c.raddr
+	p.SrcPort = c.lport
+	p.DstPort = c.rport
+	p.Proto = netsim.ProtoTCP
+	p.DSCP = c.dscp
+	p.Size = seg.length + netsim.TCPHeader + netsim.IPHeader
+	p.PayloadLen = seg.length
+	p.Payload = seg
 	c.stats.SegmentsSent++
 	c.stack.m.segments.Inc()
 	c.stack.m.cwnd.Set(c.cwnd)
@@ -118,9 +128,7 @@ func (c *Conn) trySend() {
 			continue
 		}
 		if c.closeRequested && c.sndNxt == c.finSeq {
-			c.sendDataSegment(&segment{
-				flags: flagFIN | flagACK, seq: c.sndNxt, ack: c.rcvNxt, wnd: c.advertisedWnd(),
-			})
+			c.sendFin(c.sndNxt)
 			c.sndNxt = c.finSeq + 1
 			if c.sndNxt > c.sndMax {
 				c.sndMax = c.sndNxt
@@ -134,13 +142,11 @@ func (c *Conn) trySend() {
 // transmitRange sends payload bytes [seq, seq+n) with any markers in
 // that range attached.
 func (c *Conn) transmitRange(seq int64, n units.ByteSize, retx bool) {
-	seg := &segment{
-		flags:  flagACK,
-		seq:    seq,
-		ack:    c.rcvNxt,
-		length: n,
-		wnd:    c.advertisedWnd(),
-	}
+	seg := c.stack.allocSeg()
+	seg.flags = flagACK
+	seg.seq, seg.ack = seq, c.rcvNxt
+	seg.length = n
+	seg.wnd = c.advertisedWnd()
 	end := seq + int64(n)
 	if end > c.sndMax {
 		c.sndMax = end
@@ -179,38 +185,43 @@ func (c *Conn) sendDataSegment(seg *segment) {
 
 // armPersist schedules a one-byte zero-window probe.
 func (c *Conn) armPersist() {
-	if c.persistTimer != nil && c.persistTimer.Pending() {
+	if c.persistTimer.Pending() {
 		return
 	}
-	c.persistTimer = c.stack.k.After(c.rto, func() {
-		c.persistTimer = nil
-		if c.state != stateEstablished || c.sndNxt != c.sndUna ||
-			c.sndNxt >= c.sndBufEnd || c.effectiveWnd() > 0 {
-			c.trySend()
-			return
-		}
-		c.transmitRange(c.sndNxt, 1, false)
-		c.sndNxt++
-		c.armRtx()
-	})
+	c.persistTimer = c.stack.k.AfterFunc(c.rto, connPersist, c, nil)
+}
+
+// connPersist is the prebound persist-timer callback.
+func connPersist(a0, _ any) {
+	c := a0.(*Conn)
+	if c.state != stateEstablished || c.sndNxt != c.sndUna ||
+		c.sndNxt >= c.sndBufEnd || c.effectiveWnd() > 0 {
+		c.trySend()
+		return
+	}
+	c.transmitRange(c.sndNxt, 1, false)
+	c.sndNxt++
+	c.armRtx()
 }
 
 // armRtx starts the retransmission timer if it is not running.
 func (c *Conn) armRtx() {
-	if c.rtxTimer != nil && c.rtxTimer.Pending() {
+	if c.rtxTimer.Pending() {
 		return
 	}
-	c.rtxTimer = c.stack.k.After(c.rto, c.onRTO)
+	c.rtxTimer = c.stack.k.AfterFunc(c.rto, connRTO, c, nil)
 }
+
+// connRTO is the prebound retransmission-timeout callback; using it
+// instead of the method value c.onRTO keeps timer (re)arming
+// allocation-free on the data path.
+func connRTO(a0, _ any) { a0.(*Conn).onRTO() }
 
 // restartRtx restarts the timer (after an ACK advancing sndUna).
 func (c *Conn) restartRtx() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Cancel()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Cancel()
 	if c.sndNxt > c.sndUna {
-		c.rtxTimer = c.stack.k.After(c.rto, c.onRTO)
+		c.rtxTimer = c.stack.k.AfterFunc(c.rto, connRTO, c, nil)
 	}
 }
 
@@ -219,7 +230,6 @@ func (c *Conn) restartRtx() {
 // kicks into slow start mode" behaviour at the heart of the paper's
 // Figures 1 and 6.
 func (c *Conn) onRTO() {
-	c.rtxTimer = nil
 	if c.state != stateEstablished || c.sndNxt == c.sndUna {
 		return
 	}
@@ -252,9 +262,7 @@ func (c *Conn) onRTO() {
 		c.sndNxt = c.sndUna + n
 	} else if c.closeRequested && c.sndUna == c.finSeq {
 		c.stats.Retransmits++
-		c.sendDataSegment(&segment{
-			flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt, wnd: c.advertisedWnd(),
-		})
+		c.sendFin(c.finSeq)
 		c.sndNxt = c.finSeq + 1
 	}
 	c.trySend()
@@ -467,9 +475,7 @@ func (c *Conn) retransmitHole() {
 	}
 	if c.closeRequested && c.sndUna == c.finSeq {
 		c.stats.Retransmits++
-		c.sendDataSegment(&segment{
-			flags: flagFIN | flagACK, seq: c.finSeq, ack: c.rcvNxt, wnd: c.advertisedWnd(),
-		})
+		c.sendFin(c.finSeq)
 	}
 }
 

@@ -127,6 +127,36 @@ type Stack struct {
 
 	rstSent uint64
 	m       stackMetrics
+
+	// segFree is the segment freelist; see allocSeg.
+	segFree []*segment
+}
+
+// allocSeg returns a zeroed segment from the stack's freelist (its
+// markers slice keeps its capacity), or a fresh one. Segments travel
+// inside packets and are recycled by the receiving stack in
+// HandlePacket; a segment lost with its packet in the network is
+// simply garbage-collected.
+func (s *Stack) allocSeg() *segment {
+	if l := len(s.segFree); l > 0 {
+		seg := s.segFree[l-1]
+		s.segFree[l-1] = nil
+		s.segFree = s.segFree[:l-1]
+		return seg
+	}
+	return &segment{}
+}
+
+// freeSeg resets seg (releasing marker payload references) and
+// returns it to the freelist.
+func (s *Stack) freeSeg(seg *segment) {
+	for i := range seg.markers {
+		seg.markers[i] = marker{}
+	}
+	mk := seg.markers[:0]
+	*seg = segment{}
+	seg.markers = mk
+	s.segFree = append(s.segFree, seg)
 }
 
 // stackMetrics holds the per-node metric handles every connection on
@@ -215,33 +245,35 @@ func (s *Stack) HandlePacket(p *netsim.Packet) {
 		return
 	}
 	key := connKey{localPort: p.DstPort, remoteAddr: p.Src, remotePort: p.SrcPort}
-	if c := s.conns[key]; c != nil {
-		c.handleSegment(seg, p)
-		return
-	}
-	if seg.flags&flagSYN != 0 && seg.flags&flagACK == 0 {
-		if l := s.listeners[p.DstPort]; l != nil && !l.closed {
-			l.handleSyn(seg, p)
-			return
-		}
-	}
-	if seg.flags&flagRST == 0 {
+	l := s.listeners[p.DstPort]
+	isSyn := seg.flags&flagSYN != 0 && seg.flags&flagACK == 0
+	switch {
+	case s.conns[key] != nil:
+		s.conns[key].handleSegment(seg, p)
+	case isSyn && l != nil && !l.closed:
+		l.handleSyn(seg, p)
+	case seg.flags&flagRST == 0:
 		s.sendRST(p)
 	}
+	// Segment handling is synchronous and copies everything it keeps,
+	// so both the segment and its packet recycle here.
+	s.freeSeg(seg)
+	s.node.Network().FreePacket(p)
 }
 
 func (s *Stack) sendRST(orig *netsim.Packet) {
 	s.rstSent++
-	seg := &segment{flags: flagRST, ack: orig.Payload.(*segment).seq + 1}
-	pkt := &netsim.Packet{
-		Src:     s.node.Addr(),
-		Dst:     orig.Src,
-		SrcPort: orig.DstPort,
-		DstPort: orig.SrcPort,
-		Proto:   netsim.ProtoTCP,
-		Size:    netsim.TCPHeader + netsim.IPHeader,
-		Payload: seg,
-	}
+	seg := s.allocSeg()
+	seg.flags = flagRST
+	seg.ack = orig.Payload.(*segment).seq + 1
+	pkt := s.node.Network().AllocPacket()
+	pkt.Src = s.node.Addr()
+	pkt.Dst = orig.Src
+	pkt.SrcPort = orig.DstPort
+	pkt.DstPort = orig.SrcPort
+	pkt.Proto = netsim.ProtoTCP
+	pkt.Size = netsim.TCPHeader + netsim.IPHeader
+	pkt.Payload = seg
 	_ = s.node.Send(pkt)
 }
 
