@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos bench bench-json bench-guard results figures examples clean
+.PHONY: all build vet lint test test-short test-chaos bench bench-json bench-guard results figures examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/metrics/... ./internal/sim/...
+	$(GO) test -race -short ./internal/netsim/... ./internal/tcpsim/... ./internal/ctrlplane/...
+
+# Custom analyzer suite (internal/analysis, driven by cmd/gqlint):
+# determinism, poolownership, hotpathalloc, unitsafety. Must exit 0 on
+# the whole tree; violations are either fixed or carry an inline
+# //lint:ignore justification. See docs/static-analysis.md.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/gqlint ./...
 
 test:
 	$(GO) test ./... -timeout 1800s

@@ -1,0 +1,119 @@
+// Command gqlint is the multichecker driver for the repository's
+// custom analyzer suite (internal/analysis): determinism,
+// poolownership, hotpathalloc, and unitsafety. It loads and
+// type-checks packages with only the standard library (no module
+// proxy required), applies every analyzer, honours //lint:ignore
+// suppressions, and exits nonzero if any diagnostic remains.
+//
+// Usage:
+//
+//	gqlint [-tests] [-only name,name] [-help-analyzers] packages...
+//
+// where packages are directories or `./...` patterns, e.g.
+//
+//	go run ./cmd/gqlint ./...
+//
+// See docs/static-analysis.md for the invariant catalogue and the
+// suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpichgq/internal/analysis"
+	"mpichgq/internal/analysis/determinism"
+	"mpichgq/internal/analysis/hotpathalloc"
+	"mpichgq/internal/analysis/poolownership"
+	"mpichgq/internal/analysis/unitsafety"
+)
+
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hotpathalloc.Analyzer,
+	poolownership.Analyzer,
+	unitsafety.Analyzer,
+}
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	describe := flag.Bool("help-analyzers", false, "print each analyzer's documentation and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gqlint [flags] packages...\n\npatterns are directories or ./... forms\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *describe {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gqlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gqlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gqlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gqlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "gqlint: %d diagnostic(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

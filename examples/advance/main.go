@@ -103,9 +103,10 @@ func main() {
 		tb.K.SpawnAt(u.start, u.name+"-client", func(ctx *sim.Ctx) {
 			c, err := sa.Dial(ctx, tb.PremDst.Addr(), u.port)
 			must(err)
-			gap := (50 * units.Mbps).TimeToSend(6250)
+			const chunk = 50 * units.Kbit
+			gap := (50 * units.Mbps).TimeToSend(chunk)
 			for ctx.Now() < u.stop {
-				if err := c.Write(ctx, 6250); err != nil {
+				if err := c.Write(ctx, chunk); err != nil {
 					return
 				}
 				ctx.Sleep(gap)

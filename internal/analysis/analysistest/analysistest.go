@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over testdata fixture
+// packages and checks its diagnostics against // want annotations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout follows the upstream convention:
+//
+//	<analyzer>/testdata/src/<pkg>/*.go
+//
+// Each line that should produce a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (multiple quoted regexps for multiple diagnostics on one
+// line). The test fails on any unmatched diagnostic or unsatisfied
+// want. //lint:ignore directives are honoured, so fixtures can also
+// prove that the suppression mechanism works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mpichgq/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies a to
+// it, comparing diagnostics against // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Errorf("loading %s: %v", dir, err)
+			continue
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgName, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type want struct {
+	re        *regexp.Regexp
+	satisfied bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Patterns may be double-quoted (with \" and \\ escapes) or
+// backquoted (taken literally), as in upstream analysistest.
+var quotedRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// (file, line) -> expectations.
+	wants := make(map[string][]*want)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat := q[1] // backquoted: literal
+					if q[1] == "" && q[2] != "" {
+						var err error
+						if pat, err = unquoteWant(q[2]); err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", pos, q[2], err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					k := key(pos.Filename, pos.Line)
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key(pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.satisfied && w.re.MatchString(d.Message) {
+				w.satisfied = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.satisfied {
+				t.Errorf("%s: no diagnostic matched want %q", k, w.re)
+			}
+		}
+	}
+}
+
+// unquoteWant undoes the minimal escaping used inside want strings
+// (\" and \\), leaving regexp metacharacters untouched.
+func unquoteWant(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+			switch s[i] {
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

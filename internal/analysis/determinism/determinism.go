@@ -1,0 +1,206 @@
+// Package determinism defines an analyzer that keeps kernel-driven
+// packages bit-deterministic.
+//
+// Every figure in the paper reproduction is regenerated from a root
+// seed, and the regression suite asserts byte-identical output across
+// -parallel settings. That only holds while simulation code draws no
+// wall-clock time, no ambient randomness, spawns no raw goroutines,
+// and never lets Go's randomized map iteration order decide the order
+// in which events are scheduled or RPCs are emitted. This analyzer
+// turns those conventions into compile-time errors for every package
+// that sits on the simulation kernel.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mpichgq/internal/analysis"
+)
+
+// Analyzer reports nondeterminism hazards in kernel-driven packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall-clock, ambient randomness, goroutines, and map-ordered event emission in kernel-driven packages
+
+A package is kernel-driven when it imports the simulation kernel
+(mpichgq/internal/sim) or one of the simulators built on it (netsim,
+tcpsim). In such packages the analyzer reports:
+
+  - references to wall-clock functions (time.Now, time.Since,
+    time.Sleep, time.After, ...): simulated time comes from
+    Kernel.Now;
+  - math/rand package-level functions (the ambient, globally seeded
+    source) and rand.New with a source that is not visibly
+    rand.NewSource(seed): randomness must flow from the root seed via
+    sim.RNG / experiments.DeriveSeed;
+  - go statements: concurrency belongs to Kernel.Spawn, which admits
+    one runnable process at a time;
+  - range over a map whose body schedules events or emits RPCs /
+    flight-recorder events: iteration order would leak into the event
+    sequence. Collect and sort keys first.`,
+	Run: run,
+}
+
+// kernelPkgs are import paths whose presence marks a package as
+// kernel-driven.
+var kernelPkgs = []string{
+	"mpichgq/internal/sim",
+	"mpichgq/internal/netsim",
+	"mpichgq/internal/tcpsim",
+}
+
+// wallClockFns are time-package functions that read or wait on the
+// host's clock. time.Unix, time.Date etc. are pure and stay legal.
+var wallClockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// emissionMethods are methods whose call order is observable in the
+// simulation trace: kernel scheduling, process spawning, flight
+// recorder emission, and control-plane RPC transmission.
+var emissionMethods = map[string]bool{
+	"Schedule": true, "At": true, "AtFunc": true, "After": true,
+	"AfterFunc": true, "AfterPrio": true, "AfterPrioFunc": true,
+	"Spawn": true, "Emit": true, "call": true, "transmit": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !kernelDriven(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGeneratedFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.CallExpr:
+				checkRandNew(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in kernel-driven package: goroutine interleaving is nondeterministic; use Kernel.Spawn (one runnable process at a time)")
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func kernelDriven(pass *analysis.Pass) bool {
+	for _, p := range kernelPkgs {
+		if pass.ImportPath == p || pass.DirectlyImports(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc returns the package path and name if obj is a package-level
+// function.
+func pkgFunc(obj types.Object) (string, string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	path, name, ok := pkgFunc(obj)
+	if !ok {
+		return
+	}
+	switch path {
+	case "time":
+		if wallClockFns[name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock: simulation time must come from Kernel.Now so runs are bit-reproducible", name)
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			// Checked at the enclosing call site so the seed
+			// expression is visible.
+		default:
+			pass.Reportf(sel.Pos(), "rand.%s uses the ambient math/rand source: derive randomness from the root seed via sim.RNG or experiments.DeriveSeed", name)
+		}
+	}
+}
+
+// checkRandNew validates rand.New(...) call sites: the source argument
+// must be a literal rand.NewSource(...) / rand.NewPCG(...) call, so the
+// seed's provenance is visible at the call site.
+func checkRandNew(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	path, name, ok := pkgFunc(obj)
+	if !ok || (path != "math/rand" && path != "math/rand/v2") || name != "New" {
+		return
+	}
+	if len(call.Args) >= 1 {
+		if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+			if isel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+				if iobj := pass.TypesInfo.Uses[isel.Sel]; iobj != nil {
+					if ipath, iname, ok := pkgFunc(iobj); ok &&
+						(ipath == "math/rand" || ipath == "math/rand/v2") &&
+						(iname == "NewSource" || iname == "NewPCG" || iname == "NewChaCha8") {
+						return // visibly seeded
+					}
+				}
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "rand.New without a visible rand.NewSource(seed): seed provenance must be auditable (derive from the root seed)")
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.MethodVal {
+			return true
+		}
+		fn := selection.Obj().(*types.Func)
+		if !emissionMethods[fn.Name()] {
+			return true
+		}
+		if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "mpichgq/") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s called while ranging over a map: Go's random iteration order leaks into the event sequence and breaks bit-determinism; collect and sort the keys first", fn.Name())
+		return true
+	})
+}

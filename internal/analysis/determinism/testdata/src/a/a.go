@@ -1,0 +1,67 @@
+// Package a is a seeded-violation fixture for the determinism
+// analyzer: it imports the simulation kernel, making it kernel-driven.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mpichgq/internal/sim"
+)
+
+type server struct {
+	k     *sim.Kernel
+	peers map[string]*sim.Kernel
+}
+
+func (s *server) wallClock() time.Duration {
+	start := time.Now()     // want `time.Now reads the wall clock`
+	_ = time.Since(start)   // want `time.Since reads the wall clock`
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+	<-time.After(time.Hour) // want `time.After reads the wall clock`
+	return s.k.Now()        // ok: simulated clock
+}
+
+func (s *server) ambientRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the ambient math/rand source`
+	return rand.Intn(10)               // want `rand.Intn uses the ambient math/rand source`
+}
+
+func (s *server) unseeded(src rand.Source) *rand.Rand {
+	_ = rand.New(src)                   // want `rand.New without a visible rand.NewSource`
+	return rand.New(rand.NewSource(42)) // ok: visibly seeded
+}
+
+func (s *server) goroutine() {
+	go s.wallClock() // want `go statement in kernel-driven package`
+}
+
+func (s *server) spawnOK() {
+	s.k.Spawn("proc", func(ctx *sim.Ctx) {}) // ok: kernel-admitted process
+}
+
+func (s *server) mapOrder(d time.Duration) {
+	for _, peer := range s.peers {
+		peer.After(d, func() {}) // want `After called while ranging over a map`
+	}
+	// ok: sorted iteration
+	names := make([]string, 0, len(s.peers))
+	for name := range s.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.peers[name].After(d, func() {})
+	}
+}
+
+func (s *server) suppressed() {
+	//lint:ignore determinism fixture proves the suppression mechanism works
+	go s.wallClock()
+}
+
+func (s *server) bareDirectiveDoesNotSuppress() {
+	//lint:ignore determinism
+	go s.wallClock() // want `go statement in kernel-driven package`
+}

@@ -1,0 +1,12 @@
+package poolownership_test
+
+import (
+	"testing"
+
+	"mpichgq/internal/analysis/analysistest"
+	"mpichgq/internal/analysis/poolownership"
+)
+
+func TestPoolOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", poolownership.Analyzer, "a", "seg")
+}

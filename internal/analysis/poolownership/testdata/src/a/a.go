@@ -1,0 +1,132 @@
+// Package a is the seeded-violation fixture for the poolownership
+// analyzer. The pool type mirrors netsim.Network's packet pool and
+// tcpsim.Stack's segment pool by method name, which is how the
+// analyzer recognises alloc/free pairs.
+package a
+
+type packet struct {
+	size int
+	next *packet
+}
+
+type pool struct {
+	free []*packet
+	held *packet
+}
+
+func (n *pool) AllocPacket() *packet { return &packet{} }
+func (n *pool) FreePacket(p *packet) {}
+func (n *pool) deliver(p *packet)    {}
+
+// --- leaks ---
+
+func straightLineLeak(n *pool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak`
+	p.size = 64
+}
+
+func earlyReturnLeak(n *pool, drop bool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak: this path \(line 31\)`
+	if drop {
+		return // leaks p
+	}
+	n.FreePacket(p)
+}
+
+func branchLeak(n *pool, ok bool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak`
+	if ok {
+		n.FreePacket(p)
+	}
+	// fallthrough path still owns p
+}
+
+func loopScopeLeak(n *pool, count int, drop []bool) {
+	for i := 0; i < count; i++ {
+		p := n.AllocPacket() // want `AllocPacket result may leak`
+		if drop[i] {
+			continue // leaks this iteration's packet
+		}
+		n.deliver(p)
+	}
+}
+
+func reassignLeak(n *pool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak: p is reassigned`
+	p = n.AllocPacket()
+	n.FreePacket(p)
+}
+
+// --- double frees ---
+
+func doubleFree(n *pool) {
+	p := n.AllocPacket()
+	n.FreePacket(p)
+	n.FreePacket(p) // want `FreePacket may be called twice`
+}
+
+func branchDoubleFree(n *pool, early bool) {
+	p := n.AllocPacket()
+	if early {
+		n.FreePacket(p)
+	}
+	n.FreePacket(p) // want `FreePacket may be called twice`
+}
+
+// --- correct code ---
+
+func freedOnEveryPath(n *pool, drop bool) {
+	p := n.AllocPacket()
+	if drop {
+		n.FreePacket(p)
+		return
+	}
+	p.size = 64
+	n.FreePacket(p)
+}
+
+func handoff(n *pool) {
+	p := n.AllocPacket()
+	p.size = 64
+	n.deliver(p) // ownership transferred to the callee
+}
+
+func returned(n *pool) *packet {
+	p := n.AllocPacket()
+	return p // ownership transferred to the caller
+}
+
+func storedInStruct(n *pool) {
+	p := n.AllocPacket()
+	n.held = p // stored: the structure now owns it
+}
+
+func deferredFree(n *pool) {
+	p := n.AllocPacket()
+	defer n.FreePacket(p)
+	p.size = 64
+}
+
+func switchFree(n *pool, mode int) {
+	p := n.AllocPacket()
+	switch mode {
+	case 0:
+		n.FreePacket(p)
+	default:
+		n.deliver(p)
+	}
+}
+
+func panicPathMayDrop(n *pool, bad bool) {
+	p := n.AllocPacket()
+	if bad {
+		panic("crash paths may drop pooled structs")
+	}
+	n.FreePacket(p)
+}
+
+func suppressedLeak(n *pool) {
+	//lint:ignore poolownership fixture proves suppression works for this analyzer too
+	p := n.AllocPacket()
+	p.size = 1
+}

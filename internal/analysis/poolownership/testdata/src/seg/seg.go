@@ -1,0 +1,34 @@
+// Package seg exercises the tcpsim-style segment pool spelling
+// (allocSeg/freeSeg) of the ownership rules.
+package seg
+
+type segment struct{ len int }
+
+type stack struct{ free []*segment }
+
+func (s *stack) allocSeg() *segment  { return &segment{} }
+func (s *stack) freeSeg(g *segment)  {}
+func (s *stack) transmit(g *segment) {}
+
+func leak(s *stack, skip bool) {
+	g := s.allocSeg() // want `allocSeg result may leak`
+	if skip {
+		return
+	}
+	s.freeSeg(g)
+}
+
+func doubleFree(s *stack) {
+	g := s.allocSeg()
+	s.freeSeg(g)
+	s.freeSeg(g) // want `freeSeg may be called twice`
+}
+
+func ok(s *stack, retx bool) {
+	g := s.allocSeg()
+	if retx {
+		s.transmit(g)
+		return
+	}
+	s.freeSeg(g)
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression policy: a finding may be silenced with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// either at the end of the offending line or on the line immediately
+// above it. The justification is mandatory — a bare directive does not
+// suppress anything — and "*" matches every analyzer. The catalogue of
+// accepted suppressions lives in docs/static-analysis.md; CI treats an
+// unjustified or stale directive as reviewable like any other code.
+
+type suppression struct {
+	analyzers []string // nil means malformed (ignored)
+}
+
+func (s suppression) matches(name string) bool {
+	for _, a := range s.analyzers {
+		if a == "*" || a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSuppression extracts a directive from a single comment's text.
+func parseSuppression(text string) (suppression, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "//lint:ignore ")
+	if !ok {
+		return suppression{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		// No justification: directive is inert by policy.
+		return suppression{}, false
+	}
+	return suppression{analyzers: strings.Split(fields[0], ",")}, true
+}
+
+// Suppress filters diags through the package's //lint:ignore
+// directives.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> directives that cover that line.
+	covered := make(map[string]map[int][]suppression)
+	add := func(file string, line int, s suppression) {
+		m := covered[file]
+		if m == nil {
+			m = make(map[int][]suppression)
+			covered[file] = m
+		}
+		m[line] = append(m[line], s)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				// The directive covers its own line (trailing-comment
+				// form) and the following line (standalone form).
+				add(pos.Filename, pos.Line, s)
+				add(pos.Filename, pos.Line+1, s)
+			}
+		}
+	}
+	if len(covered) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		dropped := false
+		for _, s := range covered[pos.Filename][pos.Line] {
+			if s.matches(d.Analyzer) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// IsGeneratedFile reports whether f carries the standard "Code
+// generated ... DO NOT EDIT." marker; gqlint skips such files.
+func IsGeneratedFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			t := c.Text
+			if strings.HasPrefix(t, "// Code generated ") && strings.HasSuffix(t, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package a is the seeded-violation fixture for the unitsafety
+// analyzer, using the real internal/units types.
+package a
+
+import (
+	"time"
+
+	"mpichgq/internal/units"
+)
+
+func send(size units.ByteSize, rate units.BitRate, every time.Duration) {}
+
+func dimensionSquaring(d time.Duration, sz units.ByteSize, r units.BitRate) {
+	_ = d * time.Second                // want `multiplying two time values yields time²`
+	_ = sz * units.KB                  // want `multiplying two data size values yields data size²`
+	_ = r * units.Mbps                 // want `multiplying two bandwidth values yields bandwidth²`
+	_ = d * d                          // want `multiplying two time values yields time²`
+	_ = 2 * d                          // ok: untyped count
+	_ = sz * 3                         // ok: untyped count
+	_ = time.Duration(4) * time.Second // ok: converted plain count
+	_ = d / time.Second                // ok: division rescales, it does not square
+}
+
+func crossDimension(sz units.ByteSize, r units.BitRate, d time.Duration) {
+	_ = units.BitRate(sz)         // want `direct conversion from ByteSize \(data size\) to BitRate \(bandwidth\)`
+	_ = units.ByteSize(r)         // want `direct conversion from BitRate \(bandwidth\) to ByteSize \(data size\)`
+	_ = time.Duration(sz)         // want `direct conversion from ByteSize \(data size\) to Duration \(time\)`
+	_ = units.ByteSize(sz.Bits()) // want `ByteSize\(x.Bits\(\)\) treats bits as bytes`
+	_ = units.ByteSize(1500)      // ok: typing a plain number
+	_ = r.TimeToSend(sz)          // ok: dimension-aware helper
+	_ = units.RateOf(sz, d)       // ok: dimension-aware helper
+}
+
+func bareLiterals() {
+	send(1500, 10*units.Mbps, time.Second)                 // want `bare numeric literal 1500 passed as ByteSize \(data size\)`
+	send(64*units.KB, 1e6, time.Second)                    // want `bare numeric literal 1e6 passed as BitRate \(bandwidth\)`
+	send(64*units.KB, 10*units.Mbps, 250)                  // want `bare numeric literal 250 passed as Duration \(time\)`
+	send(0, 0, 0)                                          // ok: zero is unitless
+	send(64*units.KB, 10*units.Mbps, 250*time.Millisecond) // ok
+}
+
+func suppressed() {
+	//lint:ignore unitsafety fixture proves suppression works here too
+	send(1500, 10*units.Mbps, time.Second)
+}

@@ -1,0 +1,260 @@
+// Package unitsafety defines an analyzer guarding the dimensional
+// conventions of internal/units.
+//
+// The reproduction moves three physical dimensions through the code —
+// data sizes (units.ByteSize), bandwidths (units.BitRate), and time
+// (time.Duration, which doubles as the simulation tick) — all of which
+// are defined types over plain numbers, so Go's type system stops
+// cross-dimension addition but happily allows the three classic
+// mistakes this analyzer targets:
+//
+//   - squaring a dimension: d * time.Second where d is already a
+//     Duration (the result is duration², off by a factor of 10⁹), or
+//     size * size, rate * rate;
+//   - cross-dimension conversion: units.ByteSize(x.Bits()) or
+//     units.BitRate(sz) — rebranding bits as bytes or a size as a
+//     rate without the scale factor or a time base. Rescaling goes
+//     through the provided helpers (TimeToSend, BytesIn, RateOf,
+//     Bits) or an explicit float computation;
+//   - bare numeric literals where a dimensioned parameter is
+//     expected: f(1500) with a ByteSize or Duration parameter
+//     compiles, but 1500 of what? Bytes? Nanoseconds? Spell it
+//     1500*units.Byte or 1500*time.Millisecond.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mpichgq/internal/analysis"
+)
+
+// Analyzer reports dimension-mixing arithmetic and unitless literals.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: `flag arithmetic mixing internal/units dimensions and bare literals passed as dimensioned values
+
+Reports multiplication of two dimensioned values of the same unit
+(bytes x bytes, duration x duration), direct conversions between
+different dimensions (ByteSize <-> BitRate, .Bits() into ByteSize),
+and nonzero numeric literals passed directly where a units.ByteSize,
+units.BitRate, or time.Duration parameter is expected. Scale literals
+with the unit constants instead: 64 * units.KB, 10 * units.Mbps,
+250 * time.Millisecond.`,
+	Run: run,
+}
+
+// dimensioned type identity: (package path, type name).
+type dim struct{ path, name string }
+
+var dims = map[dim]string{
+	{"mpichgq/internal/units", "ByteSize"}: "data size",
+	{"mpichgq/internal/units", "BitRate"}:  "bandwidth",
+	{"time", "Duration"}:                   "time",
+}
+
+func dimOf(t types.Type) (dim, string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return dim{}, "", false
+	}
+	d := dim{named.Obj().Pkg().Path(), named.Obj().Name()}
+	kind, ok := dims[d]
+	return d, kind, ok
+}
+
+func run(pass *analysis.Pass) error {
+	// The units package itself defines the conversions.
+	if pass.ImportPath == "mpichgq/internal/units" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGeneratedFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkMul(pass, n)
+			case *ast.CallExpr:
+				if checkConversion(pass, n) {
+					return true
+				}
+				checkLiteralArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dimensionedValue reports whether e carries its dimension as a value
+// (as opposed to a dimensionless count that merely has the type).
+// Untyped constants and explicit conversions from plain numbers — the
+// time.Duration(n) * time.Second idiom — are counts, not quantities.
+func dimensionedValue(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return "", false
+	}
+	_, kind, ok := dimOf(tv.Type)
+	if !ok {
+		return "", false
+	}
+	if tv.Value != nil {
+		// A typed constant like time.Second or units.KB is a genuine
+		// quantity; an untyped 2 that got converted is a count.
+		if call, ok := e.(*ast.CallExpr); ok && conversionFromPlain(pass, call) {
+			return "", false
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			return kind, declaredDim(pass, id)
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			return kind, declaredDim(pass, sel.Sel)
+		}
+		// Literal constant folded to the dimension (e.g. 2): count.
+		return "", false
+	}
+	if call, ok := e.(*ast.CallExpr); ok && conversionFromPlain(pass, call) {
+		return "", false
+	}
+	return kind, true
+}
+
+// declaredDim reports whether the constant identifier was declared
+// with a dimensioned type (units.KB) rather than inferred (const n =
+// 2).
+func declaredDim(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, _, ok := dimOf(obj.Type())
+	return ok
+}
+
+// conversionFromPlain reports whether call is a conversion T(x) where
+// x is a plain (non-dimensioned) number.
+func conversionFromPlain(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+		return false
+	}
+	argT := pass.TypeOf(call.Args[0])
+	if argT == nil {
+		return false
+	}
+	_, _, argDim := dimOf(argT)
+	return !argDim
+}
+
+func checkMul(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.MUL {
+		return
+	}
+	xKind, xDim := dimensionedValue(pass, b.X)
+	yKind, yDim := dimensionedValue(pass, b.Y)
+	if xDim && yDim {
+		pass.Reportf(b.OpPos, "multiplying two %s values yields %s²: one operand must be a dimensionless count (use an untyped constant or convert a plain number)", xKind, yKind)
+	}
+}
+
+// checkConversion flags T1(expr-of-T2) where T1 and T2 are different
+// dimensions, and ByteSize(x.Bits()) which silently rebrands bits as
+// bytes. Returns true when call is a conversion (so literal-argument
+// checking is skipped).
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dstD, dstKind, dstOK := dimOf(tv.Type)
+	if !dstOK {
+		return true
+	}
+	arg := ast.Unparen(call.Args[0])
+	if srcT := pass.TypeOf(arg); srcT != nil {
+		if srcD, srcKind, ok := dimOf(srcT); ok && srcD != dstD {
+			pass.Reportf(call.Pos(), "direct conversion from %s (%s) to %s (%s) drops the scale factor: use the units helpers (TimeToSend, BytesIn, RateOf) or an explicit computation", srcD.name, srcKind, dstD.name, dstKind)
+			return true
+		}
+	}
+	if dstD.name == "ByteSize" {
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			if sel, ok := inner.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Bits" {
+				if selection := pass.TypesInfo.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+					pass.Reportf(call.Pos(), "ByteSize(x.Bits()) treats bits as bytes (off by 8x): divide by 8 or keep the value in bits")
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkLiteralArgs flags bare numeric literals passed where a
+// dimensioned parameter is declared. Zero is always allowed (it is
+// the same quantity in every unit).
+func checkLiteralArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		d, kind, ok := dimOf(pt)
+		if !ok {
+			continue
+		}
+		if lit, ok := bareLiteral(arg); ok && lit != "0" {
+			pass.Reportf(arg.Pos(), "bare numeric literal %s passed as %s (%s): scale it with a unit constant (e.g. %s)", lit, d.name, kind, exampleFor(d))
+		}
+	}
+}
+
+// bareLiteral matches an integer/float literal, optionally negated.
+func bareLiteral(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		if s, ok := bareLiteral(u.X); ok {
+			return u.Op.String() + s, true
+		}
+		return "", false
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return "", false
+	}
+	return lit.Value, true
+}
+
+func exampleFor(d dim) string {
+	switch d.name {
+	case "ByteSize":
+		return "64 * units.KB"
+	case "BitRate":
+		return "10 * units.Mbps"
+	default:
+		return "250 * time.Millisecond"
+	}
+}

@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"mpichgq/internal/analysis/analysistest"
+	"mpichgq/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafety.Analyzer, "a")
+}

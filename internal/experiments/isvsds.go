@@ -92,9 +92,10 @@ func RunISvsDS(cfg Config, nFlows int) ISvsDSResult {
 				}
 			}
 			tb.K.Spawn(fmt.Sprintf("flow-%d", i), func(ctx *sim.Ctx) {
-				gap := units.BitRate(float64(perFlow) * 0.9).TimeToSend(1028)
+				const payload = units.KB
+				gap := units.BitRate(float64(perFlow) * 0.9).TimeToSend(payload + netsim.UDPHeader + netsim.IPHeader)
 				for ctx.Now() < dur {
-					sock.SendTo(tb.PremDst.Addr(), port, 1000, nil)
+					sock.SendTo(tb.PremDst.Addr(), port, payload, nil)
 					ctx.Sleep(gap)
 				}
 			})

@@ -109,7 +109,7 @@ func RunLatency(cfg Config) LatencyResult {
 		})
 		// Generous deadline: best-effort rounds can take RTO-scale
 		// times each.
-		if err := tb.K.RunUntil(time.Duration(rounds) * 2 * time.Second); err != nil {
+		if err := tb.K.RunUntil(time.Duration(2*rounds) * time.Second); err != nil {
 			panic(err)
 		}
 		return samples

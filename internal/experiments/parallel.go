@@ -46,6 +46,7 @@ func Sweep[T any](parallel, n int, fn func(point int) T) []T {
 	)
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		//lint:ignore determinism sweep workers each own a whole kernel instance seeded via DeriveSeed; cross-worker interleaving cannot touch any single simulation's event order (the parallel-vs-serial byte-identity test pins this)
 		go func() {
 			defer wg.Done()
 			for {

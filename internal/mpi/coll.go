@@ -40,7 +40,7 @@ func (r *Rank) Barrier(ctx *sim.Ctx, comm *Comm) error {
 	for dist := 1; dist < size; dist <<= 1 {
 		to := (me + dist) % size
 		from := (me - dist + size) % size
-		if _, err := r.SendRecv(ctx, cc, to, tagBarrier+dist, 1, nil, from, tagBarrier+dist); err != nil {
+		if _, err := r.SendRecv(ctx, cc, to, tagBarrier+dist, units.Byte, nil, from, tagBarrier+dist); err != nil {
 			return err
 		}
 	}

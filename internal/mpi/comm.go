@@ -6,6 +6,7 @@ import (
 
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/units"
 )
 
 // Comm is an MPI communicator: a group of processes with a unique
@@ -141,7 +142,7 @@ func (r *Rank) PairComm(ctx *sim.Ctx, peer int) (*Comm, error) {
 	c := &Comm{job: r.job, ctxID: r.job.allocCtx(ctxKey), group: []int{lo, hi}, inter: true}
 	// Handshake on the new context so both sides exist before use.
 	other := c.localRank(peer)
-	if _, err := r.SendRecv(ctx, c, other, tagPairSync, 1, nil, other, tagPairSync); err != nil {
+	if _, err := r.SendRecv(ctx, c, other, tagPairSync, units.Byte, nil, other, tagPairSync); err != nil {
 		return nil, err
 	}
 	return c, nil

@@ -210,6 +210,6 @@ func (r *Rank) TopoBarrier(ctx *sim.Ctx, t *Topo) error {
 			return err
 		}
 	}
-	_, err := r.Bcast(ctx, t.local, 0, 1, nil)
+	_, err := r.Bcast(ctx, t.local, 0, units.Byte, nil)
 	return err
 }

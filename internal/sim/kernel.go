@@ -301,10 +301,13 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Err returns the first error captured from a panicking process.
 func (k *Kernel) Err() error { return k.err }
 
+// noDeadline makes run drain the queue with no time bound.
+const noDeadline time.Duration = -1
+
 // Run processes events until the queue is empty, Stop is called, or a
 // process panics. It returns the captured process error, if any.
 func (k *Kernel) Run() error {
-	return k.run(-1)
+	return k.run(noDeadline)
 }
 
 // RunUntil processes events with timestamps <= deadline, then advances

@@ -41,6 +41,7 @@ func (k *Kernel) SpawnAt(at time.Duration, name string, fn func(ctx *Ctx)) *Proc
 	}
 	k.procs = append(k.procs, p)
 	ctx := &Ctx{k: k, p: p}
+	//lint:ignore determinism this goroutine IS Kernel.Spawn's implementation; the kernel admits exactly one runnable process at a time via resume/yield handshakes, so scheduling stays deterministic
 	go func() {
 		<-p.resume // wait for the start event
 		defer func() {

@@ -199,7 +199,7 @@ func connPersist(a0, _ any) {
 		c.trySend()
 		return
 	}
-	c.transmitRange(c.sndNxt, 1, false)
+	c.transmitRange(c.sndNxt, units.Byte, false)
 	c.sndNxt++
 	c.armRtx()
 }
