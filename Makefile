@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-chaos bench bench-json bench-guard results figures examples clean
+.PHONY: all build vet lint test test-short test-chaos bench bench-json bench-guard smoke-gqd results figures examples clean
 
 all: build vet lint test
 
@@ -41,20 +41,30 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run xxx -timeout 1800s .
 
 # Micro + macro benchmark trajectory for this PR, committed as JSON so
-# future PRs can diff against it.
+# future PRs can diff against it. Override BENCH_OUT for the next PR's
+# file (bench-guard always picks the newest BENCH_PR<n>.json).
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
 	{ $(GO) test -bench 'BenchmarkKernel|BenchmarkLinkForward|BenchmarkTCPTransfer' \
 		-benchmem -run xxx ./internal/sim/ ./internal/netsim/ ./internal/tcpsim/ ; \
 	  $(GO) test -bench BenchmarkFigure5 -benchmem -benchtime=1x -run xxx -timeout 1800s . ; } \
-		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
-	cat BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	cat $(BENCH_OUT)
 
-# Fast CI guard: the packet-forward hot path must stay at 0 allocs/op
-# and the kernel's pooled event path must stay allocation-free.
+# Fast CI guard: the packet-forward hot path must stay at 0 allocs/op,
+# the kernel's pooled event path must stay allocation-free, and the
+# guard benchmarks must not regress against the newest committed
+# BENCH_PR<n>.json trajectory.
 bench-guard:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim/ ./internal/netsim/
 	$(GO) test -bench 'BenchmarkKernelAfter$$|BenchmarkLinkForward' -benchmem -run xxx \
-		./internal/sim/ ./internal/netsim/
+		./internal/sim/ ./internal/netsim/ | $(GO) run ./cmd/benchjson -guard
+
+# End-to-end smoke of the gqd observability daemon: short live fig5
+# run, every endpoint must answer 200 with a body, SIGTERM must shut
+# down cleanly.
+smoke-gqd:
+	bash scripts/gqd_smoke.sh
 
 # Paper-length regeneration of every table and figure (takes a while).
 results:

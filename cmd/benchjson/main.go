@@ -1,22 +1,33 @@
 // Command benchjson converts `go test -bench -benchmem` output on
 // stdin into a stable JSON document on stdout, so benchmark
-// trajectories can be committed (BENCH_PR4.json and successors) and
-// diffed across PRs.
+// trajectories can be committed (BENCH_PR<n>.json) and diffed across
+// PRs.
 //
 // Usage:
 //
 //	go test -bench . -benchmem -run xxx ./... | benchjson > BENCH.json
+//	go test -bench ... | benchjson -guard [-slack 2.0]
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // ignored. Extra per-benchmark metrics reported via b.ReportMetric
 // (e.g. plateauMb/s) are captured under "metrics".
+//
+// In -guard mode benchjson instead compares the run on stdin against
+// the committed baseline — the newest BENCH_PR<n>.json in the current
+// directory, never a hardcoded name — and exits nonzero when a shared
+// benchmark regresses: allocs/op above the baseline, or ns/op more
+// than -slack times the baseline (generous by default because CI
+// machines vary; the allocation check is exact).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +44,10 @@ type Result struct {
 }
 
 func main() {
+	guard := flag.Bool("guard", false, "compare stdin against the newest committed BENCH_PR<n>.json instead of emitting JSON")
+	slack := flag.Float64("slack", 2.0, "guard mode: maximum allowed ns/op as a multiple of the baseline")
+	flag.Parse()
+
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -50,12 +65,98 @@ func main() {
 		os.Exit(1)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	if *guard {
+		if err := runGuard(results, *slack); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(map[string]any{"benchmarks": results}); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+var benchFilePat = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// newestBaseline finds the committed BENCH_PR<n>.json with the highest
+// PR number.
+func newestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFilePat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR<n>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// runGuard compares results against the newest committed baseline.
+func runGuard(results []Result, slack float64) error {
+	path, err := newestBaseline(".")
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	base := make(map[string]Result, len(doc.Benchmarks))
+	for _, r := range doc.Benchmarks {
+		base[r.Name] = r
+	}
+
+	compared, failed := 0, 0
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("benchjson: %s not in %s, skipped\n", r.Name, path)
+			continue
+		}
+		compared++
+		if r.AllocsPerOp > b.AllocsPerOp {
+			failed++
+			fmt.Printf("benchjson: REGRESSION %s: %d allocs/op, baseline %d\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*slack {
+			failed++
+			fmt.Printf("benchjson: REGRESSION %s: %.0f ns/op, over %.1fx baseline %.0f\n",
+				r.Name, r.NsPerOp, slack, b.NsPerOp)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks on stdin matched %s", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d regression(s) against %s", failed, path)
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within allocs and %.1fx ns/op of %s\n",
+		compared, slack, filepath.Base(path))
+	return nil
 }
 
 // parse decodes one benchmark line of the form:

@@ -20,6 +20,7 @@ import (
 
 	"mpichgq/internal/experiments"
 	"mpichgq/internal/garnet"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/trace"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
 	parallel := flag.Int("parallel", experiments.MaxParallel(),
 		"worker count for sweep experiments (output is identical for any value)")
+	traceOut := flag.String("trace", "",
+		"write the experiment's causal spans as Chrome trace-event JSON to this file (fig5, figG)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&svgDir, "svgdir", "", "directory to write SVG figures into (optional)")
@@ -80,6 +83,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Seed: *seed, TimeScale: *scale, Parallel: *parallel}
+	if *traceOut != "" {
+		cfg.Trace = spans.NewCollector()
+	}
 	run := func(id string) {
 		switch id {
 		case "fig1":
@@ -161,9 +167,29 @@ func main() {
 			run(id)
 			fmt.Println()
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if cfg.Trace != nil {
+		if err := writeTrace(*traceOut, cfg.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s: %d traced sweep points)\n", *traceOut, cfg.Trace.Len())
+	}
+}
+
+// writeTrace dumps the collected spans as a Chrome trace-event file.
+func writeTrace(path string, col *spans.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeSVG stores a plot when -svgdir is set.

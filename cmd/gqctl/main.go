@@ -7,13 +7,15 @@
 //
 //	gqctl [-at 5s,15s,25s]
 //	gqctl metrics [-format prom|json] [-until 25s]
-//	gqctl events [-type tcp-segment] [-subject prem-src] [-n 50]
+//	gqctl events [-type tcp-segment] [-subject prem-src] [-since 10s] [-n 50]
+//	gqctl trace [-until 25s] <resv-id>
 //	gqctl ctrl [-seed 1] [-until 20s] [-loss 0.25]
 //
-// The metrics and events subcommands run the same scenario and then
-// dump the observability layer: metrics renders the registry in
+// The metrics, events, and trace subcommands run the same scenario and
+// then dump the observability layer: metrics renders the registry in
 // Prometheus text or JSON snapshot format; events lists the flight
-// recorder (see docs/observability.md). The ctrl subcommand runs a
+// recorder; trace prints the causal span tree of one reservation's
+// lifecycle (see docs/observability.md). The ctrl subcommand runs a
 // two-domain co-reservation workload over a lossy control plane and
 // dumps its health: breaker states, retry/timeout counters,
 // outstanding leases, and journal positions (see
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +36,7 @@ import (
 	"mpichgq/internal/garnet"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/trace"
 	"mpichgq/internal/units"
 )
@@ -45,6 +49,9 @@ func main() {
 			return
 		case "events":
 			eventsCmd(os.Args[2:])
+			return
+		case "trace":
+			traceCmd(os.Args[2:])
 			return
 		case "ctrl":
 			ctrlCmd(os.Args[2:])
@@ -200,34 +207,23 @@ func eventsCmd(args []string) {
 	until := fs.Duration("until", 25*time.Second, "virtual time to run the scenario for")
 	typ := fs.String("type", "", "only events of this type (e.g. reservation-state)")
 	subject := fs.String("subject", "", "only events with this subject")
+	since := fs.Duration("since", 0, "only events at or after this virtual time")
 	n := fs.Int("n", 0, "show only the last N matching events (0 = all)")
 	must(fs.Parse(args))
-	var want metrics.EventType
+	f := metrics.EventFilter{Subject: *subject, Since: *since, Last: *n}
 	if *typ != "" {
 		t, ok := metrics.ParseEventType(*typ)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "gqctl events: unknown event type %q\n", *typ)
 			os.Exit(2)
 		}
-		want = t
+		f.Type = t
 	}
 	tb := garnet.New(*seed)
 	scenario(tb)
 	must(tb.K.RunUntil(*until))
 	rec := tb.K.Metrics().Events()
-	var rows []metrics.Event
-	for _, e := range rec.Snapshot() {
-		if want != metrics.EvNone && e.Type != want {
-			continue
-		}
-		if *subject != "" && e.Subject != *subject {
-			continue
-		}
-		rows = append(rows, e)
-	}
-	if *n > 0 && len(rows) > *n {
-		rows = rows[len(rows)-*n:]
-	}
+	rows := metrics.FilterEvents(rec.Snapshot(), f)
 	t := trace.Table{Headers: []string{"seq", "t", "type", "subject", "v1", "v2", "v3"}}
 	for _, e := range rows {
 		t.Add(fmt.Sprint(e.Seq), e.At.String(), e.Type.String(), e.Subject,
@@ -237,4 +233,41 @@ func eventsCmd(args []string) {
 	if dropped := rec.Overwritten(); dropped > 0 {
 		fmt.Printf("(%d older events overwritten; ring capacity %d)\n", dropped, rec.Capacity())
 	}
+}
+
+// traceCmd implements "gqctl trace <resv-id>": run the scenario with
+// tracing enabled and print the causal span tree of that reservation's
+// lifecycle.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("gqctl trace", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	until := fs.Duration("until", 25*time.Second, "virtual time to run the scenario for")
+	must(fs.Parse(args))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gqctl trace [-seed N] [-until D] <resv-id>")
+		os.Exit(2)
+	}
+	id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gqctl trace: %q is not a decimal reservation id\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	tb := garnet.New(*seed)
+	tb.K.Tracer().SetEnabled(true)
+	scenario(tb)
+	must(tb.K.RunUntil(*until))
+	tr := tb.K.Tracer()
+	matched := tr.Trace(spans.DeriveTrace(spans.NSReservation, id))
+	if len(matched) == 0 {
+		fmt.Printf("no spans for reservation %d; reservations traced in this run:\n", id)
+		seen := map[spans.TraceID]bool{}
+		for _, s := range tr.Query(spans.Filter{NamePrefix: "gara."}) {
+			if !seen[s.Trace] {
+				seen[s.Trace] = true
+				fmt.Printf("  %s %s (%s)\n", s.Trace, s.Name, s.Subject)
+			}
+		}
+		os.Exit(1)
+	}
+	must(spans.WriteTree(os.Stdout, matched))
 }

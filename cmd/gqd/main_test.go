@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// get fetches a path from the test server and returns status + body.
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonServesConcurrentQueries pins the daemon's core concurrency
+// contract: operator queries against all four endpoints run safely
+// (-race clean) while the stepper goroutine is advancing the live
+// kernel, and every response is well-formed.
+func TestDaemonServesConcurrentQueries(t *testing.T) {
+	const dur = 8 * time.Second // virtual
+	k, err := buildScenario("ctrl", 1, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{scenario: "ctrl", dur: dur, k: k}
+	srv := httptest.NewServer(d.mux())
+	defer srv.Close()
+
+	stepped := make(chan struct{})
+	go func() {
+		defer close(stepped)
+		d.step(100*time.Millisecond, 0)
+	}()
+
+	paths := []string{
+		"/healthz",
+		"/metrics",
+		"/traces?limit=50",
+		"/traces?class=co&format=tree",
+		"/traces?class=rpc&status=ok",
+		"/traces?min_dur=1ms&limit=10",
+		"/events?n=20",
+		"/events?type=ctrl.rpc",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				for _, p := range paths {
+					code, body := get(t, srv.URL, p)
+					if code != http.StatusOK {
+						t.Errorf("GET %s: status %d: %s", p, code, body)
+					}
+					if len(body) == 0 {
+						t.Errorf("GET %s: empty body", p)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-stepped
+
+	// With the scenario finished, the final state must be coherent:
+	// healthz reports done at the full horizon, and the trace stream
+	// holds the co-reservation story.
+	code, body := get(t, srv.URL, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("final /healthz: status %d: %s", code, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Done   bool   `json:"done"`
+		NowNS  int64  `json:"virtual_now_ns"`
+		Spans  int    `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("final /healthz: %v", err)
+	}
+	if h.Status != "ok" || !h.Done || h.NowNS != dur.Nanoseconds() {
+		t.Fatalf("final /healthz: %+v", h)
+	}
+	if h.Spans == 0 {
+		t.Fatal("scenario completed with no spans recorded")
+	}
+	code, body = get(t, srv.URL, "/traces?name=co.reserve")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?name=co.reserve: status %d", code)
+	}
+	var sp []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatalf("/traces?name=co.reserve: %v", err)
+	}
+	if len(sp) == 0 {
+		t.Fatal("no co.reserve spans after a full ctrl run")
+	}
+}
+
+// TestDaemonBadQueries pins the 400 paths so operator typos fail with
+// a usable message instead of an empty match.
+func TestDaemonBadQueries(t *testing.T) {
+	k, err := buildScenario("ctrl", 1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{scenario: "ctrl", dur: time.Second, k: k}
+	srv := httptest.NewServer(d.mux())
+	defer srv.Close()
+
+	bad := []string{
+		"/traces?resv=notanumber",
+		"/traces?trace=zz",
+		"/traces?status=bogus",
+		"/traces?min_dur=fast",
+		"/traces?limit=0",
+		"/traces?format=xml",
+		"/events?type=bogus",
+		"/events?since=yesterday",
+		"/events?n=-1",
+	}
+	for _, p := range bad {
+		code, body := get(t, srv.URL, p)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", p, code)
+		}
+		if !strings.HasPrefix(body, "gqd: ") {
+			t.Errorf("GET %s: error body %q does not explain the parameter", p, body)
+		}
+	}
+}
+
+// TestBuildScenarioUnknown covers the scenario dispatch error.
+func TestBuildScenarioUnknown(t *testing.T) {
+	if _, err := buildScenario("fig99", 1, time.Second); err == nil {
+		t.Fatal("buildScenario accepted an unknown scenario")
+	}
+}

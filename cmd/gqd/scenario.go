@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	gq "mpichgq/internal/core"
+	"mpichgq/internal/ctrlplane"
+	"mpichgq/internal/diffserv"
+	"mpichgq/internal/faults"
+	"mpichgq/internal/gara"
+	"mpichgq/internal/garnet"
+	"mpichgq/internal/mpi"
+	"mpichgq/internal/netsim"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/tcpsim"
+	"mpichgq/internal/trafficgen"
+	"mpichgq/internal/units"
+)
+
+// traceCapacity sizes the daemon kernel's completed-span ring: the
+// daemon exists to serve trace queries, so it retains more than the
+// tracer default.
+const traceCapacity = 1 << 16
+
+// buildScenario constructs the requested live scenario on a fresh
+// kernel, tracing enabled, ready to be stepped to dur.
+func buildScenario(name string, seed int64, dur time.Duration) (*sim.Kernel, error) {
+	switch name {
+	case "fig5":
+		return fig5Scenario(seed, dur), nil
+	case "ctrl":
+		return ctrlScenario(seed, dur), nil
+	default:
+		return nil, fmt.Errorf("gqd: unknown scenario %q (want fig5 or ctrl)", name)
+	}
+}
+
+// fig5Scenario is the figure 5 workload, live: an MPI ping-pong pair
+// with a premium reservation on the GARNET testbed under heavy UDP
+// contention. It exercises GARA admission, diffserv policing, and the
+// TCP stack, so /metrics shows live throughput and /traces carries
+// gara.* and tcp.* spans.
+func fig5Scenario(seed int64, dur time.Duration) *sim.Kernel {
+	tb := garnet.New(seed)
+	tb.K.Tracer().SetCapacity(traceCapacity)
+	tb.K.Tracer().SetEnabled(true)
+
+	b := &trafficgen.UDPBlaster{
+		Rate:       160 * units.Mbps,
+		PacketSize: 1000,
+		Jitter:     0.1,
+	}
+	if err := b.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
+		panic(err)
+	}
+
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
+	agent := gq.NewAgent(tb.Gara, job)
+	msgSize := 40 * units.Kbit
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		pc, err := r.PairComm(ctx, 1-r.ID())
+		if err != nil {
+			panic(err)
+		}
+		attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 8 * units.Mbps}
+		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+			panic(fmt.Sprintf("gqd fig5 reservation: %v", err))
+		}
+		peer := 1 - r.RankIn(pc)
+		for ctx.Now() < dur {
+			if r.ID() == 0 {
+				if err := r.Send(ctx, pc, peer, 0, msgSize, nil); err != nil {
+					return
+				}
+				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+					return
+				}
+			} else {
+				if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+					return
+				}
+				if err := r.Send(ctx, pc, peer, 0, msgSize, nil); err != nil {
+					return
+				}
+			}
+		}
+	})
+	return tb.K
+}
+
+// ctrlScenario is the figure G control plane, live: two administrative
+// domains behind a lossy control channel, an RM crash/restart, and a
+// driver issuing two-phase co-reservations for the whole run. It keeps
+// the co.*, rpc.*, server.*, gara.*, and fault.* span streams flowing
+// for /traces queries.
+func ctrlScenario(seed int64, dur time.Duration) *sim.Kernel {
+	k := sim.New(seed)
+	k.Tracer().SetCapacity(traceCapacity)
+	k.Tracer().SetEnabled(true)
+	n := netsim.New(k)
+	hostA, e1, c1 := n.AddNode("hostA"), n.AddNode("e1"), n.AddNode("c1")
+	c2, e2, hostB := n.AddNode("c2"), n.AddNode("e2"), n.AddNode("hostB")
+	l1 := n.Connect(hostA, e1, 100*units.Mbps, time.Millisecond)
+	l2 := n.Connect(e1, c1, 100*units.Mbps, time.Millisecond)
+	border := n.Connect(c1, c2, 50*units.Mbps, 2*time.Millisecond)
+	l4 := n.Connect(c2, e2, 100*units.Mbps, time.Millisecond)
+	l5 := n.Connect(e2, hostB, 100*units.Mbps, time.Millisecond)
+	n.ComputeRoutes()
+	dom1 := diffserv.NewDomain(k)
+	dom1.EnableEFAll(e1, c1)
+	dom2 := diffserv.NewDomain(k)
+	dom2.EnableEFAll(c2, e2)
+	rm1 := gara.NewNetworkRM(n, dom1, 0.5)
+	rm1.Scope = gara.LinkScope(l1, l2, border)
+	rm2 := gara.NewNetworkRM(n, dom2, 0.5)
+	rm2.Scope = gara.LinkScope(l4, l5)
+	g1, g2 := gara.New(k), gara.New(k)
+	g1.Register(rm1)
+	g2.Register(rm2)
+
+	plane := ctrlplane.NewPlane(k, ctrlplane.Options{
+		Timeout:  50 * time.Millisecond,
+		Deadline: 500 * time.Millisecond,
+		LeaseTTL: 3 * time.Second,
+	})
+	plane.AddDomain("dom1", g1, rm1)
+	plane.AddDomain("dom2", g2, rm2)
+	co := plane.Coordinator()
+
+	// Moderate loss the whole run, plus one crash/restart at 40%/50%
+	// of the horizon — enough chaos that retries, rollbacks, and lease
+	// expiries all appear in the trace stream.
+	sc := faults.NewScenario("gqd-ctrl").
+		CtrlLoss("dom1", 0, dur, 0.25).
+		CtrlLoss("dom2", 0, dur, 0.25).
+		CtrlCrash(dur*2/5, "dom2").
+		CtrlRestart(dur/2, "dom2")
+	sc.MustApplyWith(n, plane)
+
+	k.Spawn("gqd-ctrl-driver", func(ctx *sim.Ctx) {
+		for ctx.Now() < dur {
+			spec := gara.Spec{
+				Type:      gara.ResourceNetwork,
+				Flow:      diffserv.MatchHostPair(hostA.Addr(), hostB.Addr(), netsim.ProtoUDP),
+				Bandwidth: 10 * units.Mbps,
+				Start:     ctx.Now(),
+				Duration:  20 * time.Second,
+			}
+			mr, err := co.Reserve(ctx, spec)
+			if err == nil {
+				ctx.Sleep(time.Second)
+				_ = mr.Cancel(ctx)
+			}
+			ctx.Sleep(1500 * time.Millisecond)
+		}
+	})
+	return k
+}

@@ -1,6 +1,6 @@
 // Command gqlint is the multichecker driver for the repository's
 // custom analyzer suite (internal/analysis): determinism,
-// poolownership, hotpathalloc, and unitsafety. It loads and
+// poolownership, spanlifecycle, hotpathalloc, and unitsafety. It loads and
 // type-checks packages with only the standard library (no module
 // proxy required), applies every analyzer, honours //lint:ignore
 // suppressions, and exits nonzero if any diagnostic remains.
@@ -27,6 +27,7 @@ import (
 	"mpichgq/internal/analysis/determinism"
 	"mpichgq/internal/analysis/hotpathalloc"
 	"mpichgq/internal/analysis/poolownership"
+	"mpichgq/internal/analysis/spanlifecycle"
 	"mpichgq/internal/analysis/unitsafety"
 )
 
@@ -34,6 +35,7 @@ var all = []*analysis.Analyzer{
 	determinism.Analyzer,
 	hotpathalloc.Analyzer,
 	poolownership.Analyzer,
+	spanlifecycle.Analyzer,
 	unitsafety.Analyzer,
 }
 

@@ -13,22 +13,18 @@
 //
 // Leaking a pooled struct quietly re-introduces per-packet garbage;
 // freeing one twice aliases two live packets onto one struct and
-// corrupts a simulation far from the bug. The analyzer is a
-// flow-sensitive may-analysis over the AST (the x/tools SSA package
-// is unavailable in this build environment): it tracks each local
-// variable bound to a pool allocation through branches, loops, and
-// early returns, joining states at merges. Aliasing (y := p, &p) and
-// capture by a closure are treated as handoffs — the analysis gives
-// up rather than guess, so it reports no false positives from
-// aliasing, at the cost of missing leaks through aliases.
+// corrupts a simulation far from the bug. The flow-sensitive tracking
+// itself lives in the shared ownership engine
+// (internal/analysis/ownership); this package supplies the alloc/free
+// recognition rules.
 package poolownership
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"mpichgq/internal/analysis"
+	"mpichgq/internal/analysis/ownership"
 )
 
 // Analyzer reports pool-ownership violations.
@@ -63,384 +59,18 @@ var freeMethods = map[string]bool{
 	"freeSeg":    true,
 }
 
-// Ownership state bits. Escape is modelled by dropping the variable
-// from the environment entirely.
-const (
-	owned    = 1 << iota // allocation may still be owned here
-	released             // allocation may already have been freed
-)
-
-// track is the abstract state of one pooled allocation.
-type track struct {
-	mask     int
-	allocPos token.Pos
-	what     string // "AllocPacket" or "allocSeg"
-	reported bool   // one leak report per allocation is enough
-}
-
-type env map[*types.Var]*track
-
-func (e env) clone() env {
-	out := make(env, len(e))
-	for v, t := range e {
-		cp := *t
-		out[v] = &cp
-	}
-	return out
-}
-
-// join merges two may-states. A variable missing from either side has
-// escaped on that path; keeping it tracked would risk false reports,
-// so it is dropped. reported is sticky across both branches.
-func join(a, b env) env {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	out := make(env)
-	for v, ta := range a {
-		if tb, ok := b[v]; ok {
-			out[v] = &track{
-				mask:     ta.mask | tb.mask,
-				allocPos: ta.allocPos,
-				what:     ta.what,
-				reported: ta.reported || tb.reported,
-			}
-		}
-	}
-	return out
-}
-
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		if analysis.IsGeneratedFile(f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				return true
-			}
-			a := &interp{pass: pass}
-			out := a.execBlock(fd.Body, make(env))
-			a.leakCheck(out, fd.Body.Rbrace)
-			return true
-		})
-	}
-	return nil
-}
-
-// interp walks one function body, maintaining the ownership
-// environment along each path.
-type interp struct {
-	pass *analysis.Pass
-	// loops tracks, for each enclosing loop, which variables were
-	// already live at loop entry and how many switch statements have
-	// opened since (a bare break inside those targets the switch, not
-	// the loop).
-	loops []*loopFrame
-}
-
-type loopFrame struct {
-	atEntry     map[*types.Var]bool
-	switchDepth int
-}
-
-func (a *interp) leakCheck(e env, at token.Pos) {
-	for _, t := range e {
-		if t.mask&owned != 0 && !t.reported {
-			t.reported = true
-			pos := a.pass.Fset.Position(at)
-			a.pass.Reportf(t.allocPos, "%s result may leak: this path (line %d) reaches neither %s nor a consuming handoff", t.what, pos.Line, allocMethods[t.what])
-		}
-	}
-}
-
-// execBlock runs the statements of b over e. Variables first tracked
-// inside b are leak-checked when b ends normally, mirroring Go's
-// lexical scoping. Returns nil when every path through b terminates.
-func (a *interp) execBlock(b *ast.BlockStmt, e env) env {
-	before := make(map[*types.Var]bool, len(e))
-	for v := range e {
-		before[v] = true
-	}
-	cur := e
-	for _, s := range b.List {
-		cur = a.exec(s, cur)
-		if cur == nil {
-			return nil
-		}
-	}
-	// Scope exit: anything allocated in this block and still owned can
-	// never be freed later.
-	scoped := make(env)
-	for v, t := range cur {
-		if !before[v] {
-			scoped[v] = t
-			delete(cur, v)
-		}
-	}
-	a.leakCheck(scoped, b.Rbrace)
-	return cur
-}
-
-// exec interprets one statement, returning the outgoing environment
-// or nil if the statement terminates the path.
-func (a *interp) exec(s ast.Stmt, e env) env {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		return a.execBlock(s, e)
-
-	case *ast.ExprStmt:
-		if a.isTerminalCall(s.X) {
-			a.scanExpr(s.X, e)
-			return nil
-		}
-		a.scanExpr(s.X, e)
-		return e
-
-	case *ast.AssignStmt:
-		return a.execAssign(s, e)
-
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, val := range vs.Values {
-						a.scanExpr(val, e)
-					}
-				}
-			}
-		}
-		return e
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			e = a.exec(s.Init, e)
-			if e == nil {
-				return nil
-			}
-		}
-		a.scanExpr(s.Cond, e)
-		thenEnv := a.execBlock(s.Body, e.clone())
-		var elseEnv env
-		if s.Else != nil {
-			elseEnv = a.exec(s.Else, e.clone())
-		} else {
-			elseEnv = e
-		}
-		return join(thenEnv, elseEnv)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			e = a.exec(s.Init, e)
-			if e == nil {
-				return nil
-			}
-		}
-		if s.Cond != nil {
-			a.scanExpr(s.Cond, e)
-		}
-		// One symbolic iteration joined with zero iterations.
-		a.pushLoop(e)
-		body := a.execBlock(s.Body, e.clone())
-		a.popLoop()
-		if body != nil && s.Post != nil {
-			body = a.exec(s.Post, body)
-		}
-		return join(e, body)
-
-	case *ast.RangeStmt:
-		a.scanExpr(s.X, e)
-		a.pushLoop(e)
-		body := a.execBlock(s.Body, e.clone())
-		a.popLoop()
-		return join(e, body)
-
-	case *ast.ReturnStmt:
-		// Returning the pointer is a handoff to the caller.
-		for _, r := range s.Results {
-			a.escapeIfTracked(r, e)
-			a.scanExpr(r, e)
-		}
-		a.leakCheck(e, s.Pos())
-		return nil
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			e = a.exec(s.Init, e)
-			if e == nil {
-				return nil
-			}
-		}
-		if s.Tag != nil {
-			a.scanExpr(s.Tag, e)
-		}
-		return a.execCases(s.Body, e, hasDefault(s.Body))
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			e = a.exec(s.Init, e)
-			if e == nil {
-				return nil
-			}
-		}
-		return a.execCases(s.Body, e, hasDefault(s.Body))
-
-	case *ast.SelectStmt:
-		return a.execCases(s.Body, e, true)
-
-	case *ast.DeferStmt:
-		a.scanExpr(s.Call, e)
-		return e
-
-	case *ast.GoStmt:
-		a.scanExpr(s.Call, e)
-		return e
-
-	case *ast.SendStmt:
-		a.escapeIfTracked(s.Value, e)
-		a.scanExpr(s.Chan, e)
-		a.scanExpr(s.Value, e)
-		return e
-
-	case *ast.LabeledStmt:
-		return a.exec(s.Stmt, e)
-
-	case *ast.BranchStmt:
-		// continue (and break, when it targets the loop rather than an
-		// intervening switch) ends the iteration: anything allocated
-		// since loop entry dies in scope and must be settled by now.
-		if len(a.loops) > 0 {
-			frame := a.loops[len(a.loops)-1]
-			targetsLoop := s.Tok == token.CONTINUE ||
-				(s.Tok == token.BREAK && frame.switchDepth == 0)
-			if targetsLoop && s.Label == nil {
-				iter := make(env)
-				for v, t := range e {
-					if !frame.atEntry[v] {
-						iter[v] = t
-					}
-				}
-				a.leakCheck(iter, s.Pos())
-			}
-		}
-		// In all cases the straight-line path ends here; treating
-		// goto/fallthrough as termination under-approximates (no false
-		// leaks).
-		return nil
-
-	case *ast.IncDecStmt:
-		a.scanExpr(s.X, e)
-		return e
-
-	default:
-		return e
-	}
-}
-
-func (a *interp) pushLoop(e env) {
-	entry := make(map[*types.Var]bool, len(e))
-	for v := range e {
-		entry[v] = true
-	}
-	a.loops = append(a.loops, &loopFrame{atEntry: entry})
-}
-
-func (a *interp) popLoop() { a.loops = a.loops[:len(a.loops)-1] }
-
-// execCases joins all case-clause bodies of a switch/select, plus the
-// fallthrough-free "no case taken" path unless a default exists.
-func (a *interp) execCases(body *ast.BlockStmt, e env, exhaustive bool) env {
-	if len(a.loops) > 0 {
-		frame := a.loops[len(a.loops)-1]
-		frame.switchDepth++
-		defer func() { frame.switchDepth-- }()
-	}
-	var out env
-	if !exhaustive {
-		out = e
-	}
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			for _, x := range c.List {
-				a.scanExpr(x, e)
-			}
-			stmts = c.Body
-		case *ast.CommClause:
-			branch := e.clone()
-			if c.Comm != nil {
-				branch = a.exec(c.Comm, branch)
-			}
-			if branch != nil {
-				branch = a.execStmts(c.Body, branch)
-			}
-			out = join(out, branch)
-			continue
-		}
-		out = join(out, a.execStmts(stmts, e.clone()))
-	}
-	return out
-}
-
-func (a *interp) execStmts(stmts []ast.Stmt, e env) env {
-	for _, s := range stmts {
-		e = a.exec(s, e)
-		if e == nil {
-			return nil
-		}
-	}
-	return e
-}
-
-func (a *interp) execAssign(s *ast.AssignStmt, e env) env {
-	// RHS first: frees, handoffs, and nested allocations.
-	for _, r := range s.Rhs {
-		a.scanExpr(r, e)
-	}
-	for i, l := range s.Lhs {
-		var rhs ast.Expr
-		if len(s.Rhs) == len(s.Lhs) {
-			rhs = s.Rhs[i]
-		}
-		lid, lok := l.(*ast.Ident)
-		if !lok {
-			// p.field = x / m[k] = x: storing a tracked pointer into a
-			// structure is a handoff.
-			if rhs != nil {
-				a.escapeIfTracked(rhs, e)
-			}
-			a.scanExpr(l, e)
-			continue
-		}
-		if rhs != nil {
-			// y := p aliases the allocation; give up on it.
-			a.escapeIfTracked(rhs, e)
-		}
-		lv, _ := a.pass.ObjectOf(lid).(*types.Var)
-		if lv != nil {
-			if t, ok := e[lv]; ok && t.mask&owned != 0 && !t.reported {
-				// Overwriting the only reference while still owning it.
-				t.reported = true
-				a.pass.Reportf(t.allocPos, "%s result may leak: %s is reassigned on line %d while still owning the allocation", t.what, lid.Name, a.pass.Fset.Position(s.Pos()).Line)
-			}
-			delete(e, lv)
-			if rhs != nil {
-				if what, ok := a.allocCall(rhs); ok {
-					e[lv] = &track{mask: owned, allocPos: rhs.Pos(), what: what}
-				}
-			}
-		}
-	}
-	return e
+	return ownership.Run(pass, ownership.Rules{
+		Alloc:        allocCall,
+		Settle:       freeCall,
+		SettleName:   func(what string) string { return allocMethods[what] },
+		ReportDouble: true,
+		DoubleNote:   "double free corrupts the freelist",
+	})
 }
 
 // allocCall reports whether expr is a pool-allocation method call.
-func (a *interp) allocCall(expr ast.Expr) (string, bool) {
+func allocCall(pass *analysis.Pass, expr ast.Expr) (string, bool) {
 	call, ok := expr.(*ast.CallExpr)
 	if !ok {
 		return "", false
@@ -453,7 +83,7 @@ func (a *interp) allocCall(expr ast.Expr) (string, bool) {
 		return "", false
 	}
 	// Must resolve to a method (not a field or standalone func).
-	if selection := a.pass.TypesInfo.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
+	if selection := pass.TypesInfo.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
 		return "", false
 	}
 	return sel.Sel.Name, true
@@ -461,148 +91,21 @@ func (a *interp) allocCall(expr ast.Expr) (string, bool) {
 
 // freeCall matches recv.FreePacket(p) / s.freeSeg(seg) and returns the
 // freed variable.
-func (a *interp) freeCall(call *ast.CallExpr) (*types.Var, string, bool) {
+func freeCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !freeMethods[sel.Sel.Name] || len(call.Args) != 1 {
 		return nil, "", false
 	}
-	if selection := a.pass.TypesInfo.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
+	if selection := pass.TypesInfo.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
 		return nil, "", false
 	}
 	id, ok := call.Args[0].(*ast.Ident)
 	if !ok {
 		return nil, "", false
 	}
-	v, _ := a.pass.ObjectOf(id).(*types.Var)
+	v, _ := pass.ObjectOf(id).(*types.Var)
 	if v == nil {
 		return nil, "", false
 	}
 	return v, sel.Sel.Name, true
-}
-
-// escapeIfTracked drops x from the environment when it is a tracked
-// variable: ownership has been handed off and the analysis stops
-// second-guessing it.
-func (a *interp) escapeIfTracked(x ast.Expr, e env) {
-	if id, ok := x.(*ast.Ident); ok {
-		if v, ok := a.pass.ObjectOf(id).(*types.Var); ok {
-			delete(e, v)
-		}
-	}
-}
-
-// scanExpr processes frees, handoffs, and escapes inside one
-// expression tree.
-func (a *interp) scanExpr(x ast.Expr, e env) {
-	if x == nil {
-		return
-	}
-	switch x := x.(type) {
-	case *ast.CallExpr:
-		if v, name, ok := a.freeCall(x); ok {
-			if t, tracked := e[v]; tracked {
-				if t.mask&released != 0 {
-					a.pass.Reportf(x.Pos(), "%s may be called twice for the same %s result (double free corrupts the freelist)", name, t.what)
-				}
-				t.mask = released
-				return
-			}
-			// Freeing an untracked value: outside this analysis.
-			a.scanExpr(x.Args[0], e)
-			return
-		}
-		// Receiver is only read; arguments hand off ownership.
-		a.scanExpr(x.Fun, e)
-		for _, arg := range x.Args {
-			a.escapeIfTracked(arg, e)
-			a.scanExpr(arg, e)
-		}
-
-	case *ast.UnaryExpr:
-		if x.Op == token.AND {
-			// &p aliases the variable; give up.
-			a.escapeIfTracked(x.X, e)
-		}
-		a.scanExpr(x.X, e)
-
-	case *ast.FuncLit:
-		// Captured by a closure: ownership may flow anywhere.
-		ast.Inspect(x.Body, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok {
-				a.escapeIfTracked(id, e)
-			}
-			return true
-		})
-
-	case *ast.CompositeLit:
-		for _, elt := range x.Elts {
-			if kv, ok := elt.(*ast.KeyValueExpr); ok {
-				a.escapeIfTracked(kv.Value, e)
-				a.scanExpr(kv.Value, e)
-				continue
-			}
-			a.escapeIfTracked(elt, e)
-			a.scanExpr(elt, e)
-		}
-
-	case *ast.ParenExpr:
-		a.scanExpr(x.X, e)
-	case *ast.SelectorExpr:
-		a.scanExpr(x.X, e) // field read: not a handoff
-	case *ast.StarExpr:
-		a.scanExpr(x.X, e)
-	case *ast.IndexExpr:
-		a.scanExpr(x.X, e)
-		a.scanExpr(x.Index, e)
-	case *ast.SliceExpr:
-		a.scanExpr(x.X, e)
-		a.scanExpr(x.Low, e)
-		a.scanExpr(x.High, e)
-		a.scanExpr(x.Max, e)
-	case *ast.BinaryExpr:
-		a.scanExpr(x.X, e)
-		a.scanExpr(x.Y, e)
-	case *ast.TypeAssertExpr:
-		a.scanExpr(x.X, e)
-	case *ast.KeyValueExpr:
-		a.scanExpr(x.Key, e)
-		a.scanExpr(x.Value, e)
-	}
-}
-
-// isTerminalCall reports whether x is a call that never returns
-// (panic, or testing's Fatal family via t.Fatal/Fatalf), ending the
-// current path without a leak check: crash paths may drop pooled
-// structs.
-func (a *interp) isTerminalCall(x ast.Expr) bool {
-	call, ok := x.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Fatal", "Fatalf", "Exit", "Fatalln":
-			return true
-		}
-	}
-	return false
-}
-
-func hasDefault(body *ast.BlockStmt) bool {
-	for _, c := range body.List {
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			if c.List == nil {
-				return true
-			}
-		case *ast.CommClause:
-			if c.Comm == nil {
-				return true
-			}
-		}
-	}
-	return false
 }

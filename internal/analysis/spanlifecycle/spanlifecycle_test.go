@@ -1,0 +1,12 @@
+package spanlifecycle_test
+
+import (
+	"testing"
+
+	"mpichgq/internal/analysis/analysistest"
+	"mpichgq/internal/analysis/spanlifecycle"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", spanlifecycle.Analyzer, "a")
+}

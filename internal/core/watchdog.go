@@ -9,6 +9,7 @@ import (
 	"mpichgq/internal/mpi"
 	"mpichgq/internal/nws"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/units"
 )
 
@@ -78,6 +79,10 @@ type Watchdog struct {
 	breaches  int
 	stopped   bool
 	rec       *metrics.Recorder
+	tr        *spans.Tracer
+	// episodes numbers breach→repair episodes so each gets its own
+	// deterministic trace.
+	episodes uint64
 
 	repairs, fallbacks, upgrades int
 }
@@ -114,6 +119,7 @@ func (a *Agent) NewWatchdog(r *mpi.Rank, c *mpi.Comm, target units.BitRate) (*Wa
 		fc:             nws.NewForecaster(),
 		recv:           a.job.Rank(peer).RecvBytesCounter(c),
 		rec:            k.Metrics().Events(),
+		tr:             k.Tracer(),
 	}, nil
 }
 
@@ -138,7 +144,14 @@ func (w *Watchdog) Run(ctx *sim.Ctx, interval, dur time.Duration) {
 		if w.breaches >= w.BreachCount {
 			w.rec.Emit(metrics.EvQosRepair, phaseBreach,
 				int64(w.rank.ID()), int64(w.comm.Context()), int64(w.fc.Forecast()))
-			w.repairLoop(ctx, deadline)
+			w.episodes++
+			trace := spans.DeriveTrace(spans.NSWatchdog,
+				uint64(w.rank.ID())<<40|uint64(w.comm.Context())<<16|w.episodes)
+			outage := w.tr.Begin(trace, 0, "wd.outage", "watchdog")
+			outage.Int("rank", int64(w.rank.ID())).
+				Int("ctx", int64(w.comm.Context())).
+				Int("forecast_bps", int64(w.fc.Forecast()))
+			w.repairLoop(ctx, deadline, outage)
 			// Start goodput accounting afresh: forecasts from the
 			// outage would re-trigger immediately.
 			w.fc = nws.NewForecaster()
@@ -183,8 +196,9 @@ func (w *Watchdog) breachedNow() bool {
 // FallbackAfter failures the flow is demoted to best effort; the loop
 // keeps probing (at the capped interval) and upgrades back when
 // admission succeeds again.
-func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
+func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration, outage *spans.Span) {
 	k := w.agent.g.Kernel()
+	trace := outage.TraceID()
 	w.Backoff.Reset()
 	failures := 0
 	fellBack := false
@@ -194,6 +208,8 @@ func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
 			// skipped attempt still counts toward fallback.
 			w.rec.Emit(metrics.EvQosRepair, phaseGated,
 				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			w.tr.Begin(trace, outage.SpanID(), "wd.gated", "watchdog").
+				Int("failures", int64(failures)).EndStatus(spans.StatusFailed)
 			failures++
 			if !fellBack && failures >= w.FallbackAfter {
 				be := QosAttribute{Class: BestEffort}
@@ -202,10 +218,14 @@ func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
 				w.fallbacks++
 				w.rec.Emit(metrics.EvQosRepair, phaseFallback,
 					int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+				w.tr.Begin(trace, outage.SpanID(), "wd.fallback", "watchdog").
+					Int("failures", int64(failures)).End()
 			}
 			ctx.Sleep(w.Backoff.Next())
 			continue
 		}
+		attempt := w.tr.Begin(trace, outage.SpanID(), "wd.attempt", "watchdog")
+		attempt.Int("failures", int64(failures))
 		if w.tryRestore() {
 			phase := phaseRepair
 			if fellBack {
@@ -216,9 +236,16 @@ func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
 			}
 			w.rec.Emit(metrics.EvQosRepair, phase,
 				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			attempt.Str("phase", phase)
+			attempt.End()
 			w.Backoff.Reset()
+			// The episode resolved, but the guarantee was still broken
+			// for its duration: record the outage as breached.
+			outage.Str("resolved", phase)
+			outage.EndStatus(spans.StatusBreached)
 			return
 		}
+		attempt.EndStatus(spans.StatusFailed)
 		failures++
 		if !fellBack && failures >= w.FallbackAfter {
 			be := QosAttribute{Class: BestEffort}
@@ -227,9 +254,14 @@ func (w *Watchdog) repairLoop(ctx *sim.Ctx, deadline time.Duration) {
 			w.fallbacks++
 			w.rec.Emit(metrics.EvQosRepair, phaseFallback,
 				int64(w.rank.ID()), int64(w.comm.Context()), int64(failures))
+			w.tr.Begin(trace, outage.SpanID(), "wd.fallback", "watchdog").
+				Int("failures", int64(failures)).End()
 		}
 		ctx.Sleep(w.Backoff.Next())
 	}
+	// Deadline or Stop without restoration: the outage never resolved.
+	outage.Int("failures", int64(failures))
+	outage.EndStatus(spans.StatusFailed)
 }
 
 // tryRestore attempts to bring the premium binding back to full

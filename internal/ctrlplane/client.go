@@ -8,6 +8,7 @@ import (
 	gq "mpichgq/internal/core"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // Errors a Call can fail with locally (as opposed to an error the
@@ -48,6 +49,7 @@ type Conn struct {
 
 	mAttempts, mRetries, mTimeouts, mFailures, mRejected *metrics.Counter
 	rec                                                  *metrics.Recorder
+	tr                                                   *spans.Tracer
 }
 
 type pendingCall struct {
@@ -75,6 +77,7 @@ func NewConn(k *sim.Kernel, srv *Server, toSrv, fromSrv *Chan,
 		mRejected: reg.Counter("ctrl_rpc_breaker_rejects_total",
 			"control RPCs rejected by an open circuit breaker", "rm", name),
 		rec: reg.Events(),
+		tr:  k.Tracer(),
 	}
 }
 
@@ -88,14 +91,19 @@ func (c *Conn) Server() *Server { return c.srv }
 // process. It retries under the per-attempt Timeout until the Deadline
 // and trips the breaker bookkeeping on the way.
 func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) {
+	sp := c.tr.Begin(req.trace, req.parent, spanName(rpcSpanNames, method), c.name)
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		c.mRejected.Inc()
 		c.rec.Emit(metrics.EvCtrlRPC, method, 0, 0, rpcRejected)
+		sp.Int("breaker_open", 1)
+		sp.EndStatus(spans.StatusFailed)
 		return response{}, fmt.Errorf("%w (rm %s)", ErrBreakerOpen, c.name)
 	}
 	c.nextReq++
 	req.reqID = c.nextReq
 	req.method = method
+	req.parent = sp.SpanID()
+	sp.Int("req", int64(req.reqID))
 	deadline := c.k.Now() + c.Deadline
 	pc := &pendingCall{cond: sim.NewCond(c.k)}
 	c.waiting[req.reqID] = pc
@@ -116,6 +124,12 @@ func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) 
 				c.Breaker.Success()
 			}
 			c.rec.Emit(metrics.EvCtrlRPC, method, int64(req.reqID), int64(attempt), rpcOK)
+			sp.Int("attempts", int64(attempt))
+			if pc.resp.ok {
+				sp.End()
+			} else {
+				sp.EndStatus(spans.StatusFailed)
+			}
 			return *pc.resp, nil
 		}
 		c.mTimeouts.Inc()
@@ -129,6 +143,8 @@ func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) 
 			if c.Breaker != nil {
 				c.Breaker.Failure()
 			}
+			sp.Int("attempts", int64(attempt))
+			sp.EndStatus(spans.StatusFailed)
 			return response{}, fmt.Errorf("%w (rm %s, %s, %d attempts)",
 				ErrDeadline, c.name, method, attempt)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"mpichgq/internal/gara"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // Coordinator drives GARA's two-phase co-reservation over the control
@@ -27,6 +28,12 @@ type Coordinator struct {
 	// one leak the lease cannot bound — so rollback is worth retrying
 	// harder than the happy path (default 2).
 	RollbackRetries int
+
+	tr *spans.Tracer
+	// nextAttempt numbers Reserve/ReserveNaive calls; each gets its own
+	// trace derived from this counter, which is deterministic because
+	// the coordinator runs inside the single-threaded kernel.
+	nextAttempt uint64
 }
 
 // NewCoordinator returns a coordinator over the given domain stubs.
@@ -34,7 +41,7 @@ func NewCoordinator(conns ...*Conn) *Coordinator {
 	if len(conns) == 0 {
 		panic("ctrlplane: coordinator needs at least one domain")
 	}
-	return &Coordinator{conns: conns, RollbackRetries: 2}
+	return &Coordinator{conns: conns, RollbackRetries: 2, tr: conns[0].k.Tracer()}
 }
 
 // segment is one domain's share of a co-reservation.
@@ -45,8 +52,14 @@ type segment struct {
 
 // MultiRes is a committed cross-domain reservation.
 type MultiRes struct {
-	segs []segment
+	segs  []segment
+	trace spans.TraceID
 }
+
+// Trace returns the trace ID the co-reservation's spans were recorded
+// under (zero when tracing was disabled at reserve time — the ID is
+// still derived, so it is always usable for queries).
+func (m *MultiRes) Trace() spans.TraceID { return m.trace }
 
 // IDs returns the per-domain reservation ids, in domain order.
 func (m *MultiRes) IDs() map[string]uint64 {
@@ -63,40 +76,67 @@ func (m *MultiRes) IDs() map[string]uint64 {
 // their lease (prepared) or stay booked until their window ends
 // (committed, a risk the protocol bounds by committing last).
 func (co *Coordinator) Reserve(ctx *sim.Ctx, spec gara.Spec) (*MultiRes, error) {
+	trace := co.newTrace()
+	root := co.tr.Begin(trace, 0, "co.reserve", "coordinator")
+	root.Str("mode", "two-phase")
 	var prepped []segment
 	for _, cn := range co.conns {
-		resp, err := cn.call(ctx, methodPrepare, request{spec: spec, ttl: co.LeaseTTL})
+		resp, err := cn.call(ctx, methodPrepare,
+			request{spec: spec, ttl: co.LeaseTTL, trace: trace, parent: root.SpanID()})
 		if err != nil {
-			co.abortAll(ctx, prepped)
+			co.rollback(ctx, trace, root, nil, prepped)
 			return nil, fmt.Errorf("ctrlplane: prepare on %s: %w", cn.Name(), err)
 		}
 		if !resp.ok {
 			if resp.notInDomain {
 				continue
 			}
-			co.abortAll(ctx, prepped)
+			co.rollback(ctx, trace, root, nil, prepped)
 			return nil, fmt.Errorf("ctrlplane: %s refused: %s", cn.Name(), resp.errText)
 		}
 		prepped = append(prepped, segment{conn: cn, resID: resp.resID})
 	}
 	if len(prepped) == 0 {
+		root.EndStatus(spans.StatusFailed)
 		return nil, errors.New("ctrlplane: no domain owns any hop of the flow's path")
 	}
 	for i, sg := range prepped {
-		resp, err := sg.conn.call(ctx, methodCommit, request{resID: sg.resID})
+		resp, err := sg.conn.call(ctx, methodCommit,
+			request{resID: sg.resID, trace: trace, parent: root.SpanID()})
 		if err == nil {
 			err = rpcError(resp)
 		}
 		if err != nil {
 			// Roll back: cancel what committed, abort what did not.
-			for _, done := range prepped[:i] {
-				co.release(ctx, done, methodCancel)
-			}
-			co.abortAll(ctx, prepped[i:])
+			co.rollback(ctx, trace, root, prepped[:i], prepped[i:])
 			return nil, fmt.Errorf("ctrlplane: commit on %s: %w", sg.conn.Name(), err)
 		}
 	}
-	return &MultiRes{segs: prepped}, nil
+	root.Int("segments", int64(len(prepped)))
+	root.End()
+	return &MultiRes{segs: prepped, trace: trace}, nil
+}
+
+// newTrace derives the next co-reservation attempt's trace ID.
+func (co *Coordinator) newTrace() spans.TraceID {
+	co.nextAttempt++
+	return spans.DeriveTrace(spans.NSCoReserve, co.nextAttempt)
+}
+
+// rollback undoes a partial co-reservation under a co.rollback span —
+// cancelling committed segments, aborting merely prepared ones — and
+// closes the root span as failed.
+func (co *Coordinator) rollback(ctx *sim.Ctx, trace spans.TraceID, root *spans.Span, committed, prepped []segment) {
+	rb := co.tr.Begin(trace, root.SpanID(), "co.rollback", "coordinator")
+	rb.Int("cancel", int64(len(committed))).Int("abort", int64(len(prepped)))
+	for _, done := range committed {
+		co.release(ctx, done, methodCancel, trace, rb.SpanID())
+	}
+	for _, sg := range prepped {
+		co.release(ctx, sg, methodAbort, trace, rb.SpanID())
+	}
+	rb.End()
+	root.EndStatus(spans.StatusFailed)
 }
 
 // ReserveNaive is the unprotected baseline: a single one-shot reserve
@@ -104,41 +144,36 @@ func (co *Coordinator) Reserve(ctx *sim.Ctx, spec gara.Spec) (*MultiRes, error) 
 // reservation was made but the client never learns its id) or a lost
 // cancel orphans booked capacity — the leak figG measures.
 func (co *Coordinator) ReserveNaive(ctx *sim.Ctx, spec gara.Spec) (*MultiRes, error) {
+	trace := co.newTrace()
+	root := co.tr.Begin(trace, 0, "co.reserve", "coordinator")
+	root.Str("mode", "naive")
 	var got []segment
 	for _, cn := range co.conns {
-		resp, err := cn.call(ctx, methodReserve, request{spec: spec})
+		resp, err := cn.call(ctx, methodReserve,
+			request{spec: spec, trace: trace, parent: root.SpanID()})
 		if err != nil {
 			// Rollback of what we know about (with the same retry
 			// budget two-phase rollback gets); anything the reply loss
 			// hid from us has no id to cancel and stays booked.
-			for _, done := range got {
-				co.release(ctx, done, methodCancel)
-			}
+			co.rollback(ctx, trace, root, got, nil)
 			return nil, fmt.Errorf("ctrlplane: reserve on %s: %w", cn.Name(), err)
 		}
 		if !resp.ok {
 			if resp.notInDomain {
 				continue
 			}
-			for _, done := range got {
-				co.release(ctx, done, methodCancel)
-			}
+			co.rollback(ctx, trace, root, got, nil)
 			return nil, fmt.Errorf("ctrlplane: %s refused: %s", cn.Name(), resp.errText)
 		}
 		got = append(got, segment{conn: cn, resID: resp.resID})
 	}
 	if len(got) == 0 {
+		root.EndStatus(spans.StatusFailed)
 		return nil, errors.New("ctrlplane: no domain owns any hop of the flow's path")
 	}
-	return &MultiRes{segs: got}, nil
-}
-
-// abortAll best-effort aborts prepared segments. Residual failures are
-// ignored: the lease reclaims what the abort cannot reach.
-func (co *Coordinator) abortAll(ctx *sim.Ctx, segs []segment) {
-	for _, sg := range segs {
-		co.release(ctx, sg, methodAbort)
-	}
+	root.Int("segments", int64(len(got)))
+	root.End()
+	return &MultiRes{segs: got, trace: trace}, nil
 }
 
 // release drives one rollback cancel/abort with retries. Both methods
@@ -147,9 +182,10 @@ func (co *Coordinator) abortAll(ctx *sim.Ctx, segs []segment) {
 // they do not all land inside one bad spell: a breaker-rejected call
 // waits out the cooldown (otherwise every retry fails fast against the
 // same open breaker), a deadline failure waits one more deadline.
-func (co *Coordinator) release(ctx *sim.Ctx, sg segment, method string) {
+func (co *Coordinator) release(ctx *sim.Ctx, sg segment, method string, trace spans.TraceID, parent spans.SpanID) {
 	for try := 0; ; try++ {
-		_, err := sg.conn.call(ctx, method, request{resID: sg.resID})
+		_, err := sg.conn.call(ctx, method,
+			request{resID: sg.resID, trace: trace, parent: parent})
 		if err == nil || try >= co.RollbackRetries {
 			return
 		}
@@ -167,14 +203,21 @@ func (co *Coordinator) release(ctx *sim.Ctx, sg segment, method string) {
 // or recovery reconciles it).
 func (m *MultiRes) Cancel(ctx *sim.Ctx) error {
 	var first error
+	sp := m.segs[0].conn.tr.Begin(m.trace, 0, "co.cancel", "coordinator")
 	for _, sg := range m.segs {
-		resp, err := sg.conn.call(ctx, methodCancel, request{resID: sg.resID})
+		resp, err := sg.conn.call(ctx, methodCancel,
+			request{resID: sg.resID, trace: m.trace, parent: sp.SpanID()})
 		if err == nil {
 			err = rpcError(resp)
 		}
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if first != nil {
+		sp.EndStatus(spans.StatusFailed)
+	} else {
+		sp.End()
 	}
 	return first
 }

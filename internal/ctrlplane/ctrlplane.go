@@ -30,6 +30,7 @@ import (
 	"mpichgq/internal/gara"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // request is one control-plane message from coordinator to server.
@@ -41,6 +42,11 @@ type request struct {
 	resID  uint64 // commit/abort/cancel: the reservation being acted on
 	spec   gara.Spec
 	ttl    time.Duration // prepare: lease TTL
+	// trace/parent propagate the coordinator's span context so
+	// client-attempt and server-execution spans link into one causal
+	// trace per co-reservation.
+	trace  spans.TraceID
+	parent spans.SpanID
 }
 
 // response is the server's reply.
@@ -74,6 +80,32 @@ const (
 	rpcTimeout  = 1
 	rpcRejected = 2
 )
+
+// Interned span names per method, client ("rpc.") and server
+// ("server.") side, so the tracing hot path never concatenates.
+var (
+	rpcSpanNames = map[string]string{
+		methodPrepare: "rpc.prepare",
+		methodCommit:  "rpc.commit",
+		methodAbort:   "rpc.abort",
+		methodReserve: "rpc.reserve",
+		methodCancel:  "rpc.cancel",
+	}
+	serverSpanNames = map[string]string{
+		methodPrepare: "server.prepare",
+		methodCommit:  "server.commit",
+		methodAbort:   "server.abort",
+		methodReserve: "server.reserve",
+		methodCancel:  "server.cancel",
+	}
+)
+
+func spanName(names map[string]string, method string) string {
+	if n, ok := names[method]; ok {
+		return n
+	}
+	return "rpc.call"
+}
 
 // Chan is one direction of a control channel: it delivers scheduled
 // callbacks after a (jittered) propagation delay, dropping or

@@ -7,6 +7,7 @@ import (
 	"mpichgq/internal/gara"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // Server is a domain RM's control-plane front end: it executes
@@ -34,6 +35,7 @@ type Server struct {
 
 	mHandled, mDuped *metrics.Counter
 	rec              *metrics.Recorder
+	tr               *spans.Tracer
 }
 
 // NewServer wraps a domain's Gara + NetworkRM behind a control-plane
@@ -52,6 +54,7 @@ func NewServer(k *sim.Kernel, name string, g *gara.Gara, rm *gara.NetworkRM) *Se
 		mDuped: reg.Counter("ctrl_server_dup_requests_total",
 			"duplicate control requests answered from the reply cache", "rm", name),
 		rec: reg.Events(),
+		tr:  k.Tracer(),
 	}
 }
 
@@ -72,9 +75,22 @@ func (s *Server) handle(req request) (response, bool) {
 	}
 	if resp, dup := s.seen[req.reqID]; dup {
 		s.mDuped.Inc()
+		s.tr.Begin(req.trace, req.parent, "server.dup", s.name).
+			Int("req", int64(req.reqID)).End()
 		return resp, true
 	}
+	sp := s.tr.Begin(req.trace, req.parent, spanName(serverSpanNames, req.method), s.name)
+	// Bracket the dispatch so reservation spans created inside the Gara
+	// (gara.prepare, gara.lease, ...) parent under this server span.
+	prev := s.g.SetSpanContext(sp.Ctx())
 	resp := s.apply(req)
+	s.g.SetSpanContext(prev)
+	sp.Int("res", int64(resp.resID))
+	if resp.ok {
+		sp.End()
+	} else {
+		sp.EndStatus(spans.StatusFailed)
+	}
 	s.seen[req.reqID] = resp
 	s.mHandled.Inc()
 	return resp, true

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"mpichgq/internal/garnet"
+	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/trafficgen"
 	"mpichgq/internal/units"
 )
@@ -27,6 +29,31 @@ type Config struct {
 	// worker count never changes experiment output, only wall-clock
 	// time: every sweep point runs on its own kernel.
 	Parallel int
+	// Trace, when non-nil, enables causal tracing on every sweep
+	// point's kernel and collects the completed spans keyed by point
+	// index, so the merged Chrome trace is byte-identical at any
+	// Parallel. cmd/garnet's -trace flag plumbs this.
+	Trace *spans.Collector
+}
+
+// traceCapacity is the completed-span ring size used for traced
+// experiment kernels — generous enough that a paper-length point
+// retains its whole story.
+const traceCapacity = 1 << 15
+
+// enableTrace turns on k's tracer when the config collects traces.
+func (c Config) enableTrace(k *sim.Kernel) {
+	if c.Trace != nil {
+		k.Tracer().SetCapacity(traceCapacity)
+		k.Tracer().SetEnabled(true)
+	}
+}
+
+// collectTrace reports a finished point's spans under its sweep index.
+func (c Config) collectTrace(k *sim.Kernel, pid int, label string) {
+	if c.Trace != nil {
+		c.Trace.Add(pid, label, k.Tracer().Snapshot())
+	}
 }
 
 // DefaultConfig runs experiments at paper length.

@@ -83,7 +83,7 @@ func RunFigure5(cfg Config) Figure5Result {
 	}
 	points := Sweep(cfg.Parallel, len(jobs), func(i int) PingPongPoint {
 		j := jobs[i]
-		p := pingPongThroughput(cfg, j.size, j.rsv, j.contended, dur)
+		p := pingPongThroughput(cfg, i, j.size, j.rsv, j.contended, dur)
 		p.Reservation = j.rsv
 		return p
 	})
@@ -104,8 +104,9 @@ func RunFigure5(cfg Config) Figure5Result {
 // by hand: rank 0 receives exactly one msgSize reply per completed
 // round trip, so the delta of its mpi_recv_bytes_total counter on the
 // pair comm over the measurement window is the one-way byte count.
-func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.BitRate, contended bool, dur time.Duration) PingPongPoint {
+func pingPongThroughput(cfg Config, pid int, msgSize units.ByteSize, reservation units.BitRate, contended bool, dur time.Duration) PingPongPoint {
 	tb := garnet.New(cfg.Seed)
+	cfg.enableTrace(tb.K)
 	if contended {
 		blast(tb, 0, 0)
 	}
@@ -163,6 +164,7 @@ func pingPongThroughput(cfg Config, msgSize units.ByteSize, reservation units.Bi
 	if recvBytes != nil {
 		oneWayBytes = units.ByteSize(recvBytes.Value() - baseline)
 	}
+	cfg.collectTrace(tb.K, pid, fmt.Sprintf("fig5 msg=%dKb rsv=%.0fKb/s", msgSize.Bits()/1000, reservation.Kbps()))
 	reg := tb.K.Metrics()
 	conform, _ := reg.CounterValue("diffserv_conform_packets_total", "dscp", "EF")
 	exceed, _ := reg.CounterValue("diffserv_exceed_packets_total", "dscp", "EF")

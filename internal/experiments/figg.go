@@ -61,7 +61,7 @@ func RunFigureG(cfg Config) FigureGResult {
 	points := Sweep(cfg.Parallel, 2*len(res.Losses), func(i int) FigureGPoint {
 		loss := res.Losses[i/2]
 		seed := cfg.Seed + int64(100*(i/2))
-		return runFigGPoint(cfg, seed, loss, i%2 == 0)
+		return runFigGPoint(cfg, i, seed, loss, i%2 == 0)
 	})
 	for i := range res.Losses {
 		res.TwoPhase = append(res.TwoPhase, points[2*i])
@@ -71,7 +71,7 @@ func RunFigureG(cfg Config) FigureGResult {
 }
 
 // runFigGPoint runs one protocol variant at one loss rate.
-func runFigGPoint(cfg Config, seed int64, loss float64, twoPhase bool) FigureGPoint {
+func runFigGPoint(cfg Config, pid int, seed int64, loss float64, twoPhase bool) FigureGPoint {
 	hold := cfg.scale(time.Second)
 	gap := cfg.scale(1500 * time.Millisecond)
 	// Long windows against a short lease TTL: an orphaned two-phase
@@ -84,6 +84,7 @@ func runFigGPoint(cfg Config, seed int64, loss float64, twoPhase bool) FigureGPo
 	//
 	//	hostA - e1 - c1 ===border=== c2 - e2 - hostB
 	k := sim.New(seed)
+	cfg.enableTrace(k)
 	n := netsim.New(k)
 	hostA, e1, c1 := n.AddNode("hostA"), n.AddNode("e1"), n.AddNode("c1")
 	c2, e2, hostB := n.AddNode("c2"), n.AddNode("e2"), n.AddNode("hostB")
@@ -190,6 +191,11 @@ func runFigGPoint(cfg Config, seed int64, loss float64, twoPhase bool) FigureGPo
 	if err := k.RunUntil(dur); err != nil {
 		panic(fmt.Sprintf("experiments: figure G (loss %.2f): %v", loss, err))
 	}
+	mode := "naive"
+	if twoPhase {
+		mode = "two-phase"
+	}
+	cfg.collectTrace(k, pid, fmt.Sprintf("figG loss=%.0f%% %s", 100*loss, mode))
 	pt.SuccessRate = float64(pt.Successes) / float64(pt.Attempts)
 	pt.LeakMB = leakBits / 8e6
 	return pt

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpichgq/internal/spans"
+)
+
+// renderFigGTrace runs figure G with tracing on and returns the merged
+// Chrome trace file as a string.
+func renderFigGTrace(t *testing.T, parallel int) string {
+	t.Helper()
+	cfg := Config{Seed: 1, TimeScale: 0.05, Parallel: parallel, Trace: spans.NewCollector()}
+	RunFigureG(cfg)
+	var b strings.Builder
+	if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return b.String()
+}
+
+// TestFigGTraceDeterministicAcrossParallel pins the tracing layer's
+// core promise: a traced figG run produces byte-identical Chrome trace
+// output — same span IDs, same virtual timestamps — across runs at the
+// same seed and at any -parallel worker count.
+func TestFigGTraceDeterministicAcrossParallel(t *testing.T) {
+	seq := renderFigGTrace(t, 1)
+	par := renderFigGTrace(t, 8)
+	if seq != par {
+		t.Fatalf("trace output differs between -parallel 1 and -parallel 8 (%d vs %d bytes)", len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("traced figG run produced no output")
+	}
+
+	// The trace must contain a parent-linked two-phase story: a
+	// co.reserve root whose trace carries prepare and commit RPC spans
+	// parented under it, plus evidence of the protocol coping with the
+	// lossy channel (a rollback span or a multi-attempt RPC).
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(seq), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	// roots maps (trace, span id) of every co.reserve span.
+	type key struct {
+		trace string
+		span  float64
+	}
+	roots := make(map[key]bool)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "co.reserve" {
+			roots[key{ev.Args["trace"].(string), ev.Args["span"].(float64)}] = true
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no co.reserve spans in traced figG run")
+	}
+	prepared, committed, coped := false, false, false
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "co.rollback" {
+			coped = true
+		}
+		parent, ok := ev.Args["parent"].(float64)
+		if !ok {
+			continue
+		}
+		under := roots[key{ev.Args["trace"].(string), parent}]
+		switch ev.Name {
+		case "rpc.prepare":
+			if under {
+				prepared = true
+			}
+		case "rpc.commit":
+			if under {
+				committed = true
+			}
+		}
+		if att, ok := ev.Args["attempts"].(float64); ok && att > 1 {
+			coped = true
+		}
+	}
+	if !prepared || !committed {
+		t.Fatalf("missing parent-linked two-phase spans: prepare=%v commit=%v", prepared, committed)
+	}
+	if !coped {
+		t.Fatal("no rollback or retried RPC in a run with up to 60%% control loss")
+	}
+}

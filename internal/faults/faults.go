@@ -25,6 +25,7 @@ import (
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // Interned flight-recorder subjects for EvFaultInject, one per action
@@ -178,9 +179,22 @@ type Injection struct {
 	k   *sim.Kernel
 	rng *sim.RNG
 	rec *metrics.Recorder
+	tr  *spans.Tracer
+	// trace groups every span of this scenario's actions, keyed by the
+	// scenario name.
+	trace spans.TraceID
 
 	lossDrops    uint64
 	corruptDrops uint64
+}
+
+// Trace returns the trace ID the injection's fault spans are recorded
+// under.
+func (in *Injection) Trace() spans.TraceID { return in.trace }
+
+// instant records a zero-duration fault span at the current sim time.
+func (in *Injection) instant(name, target string) {
+	in.tr.Begin(in.trace, 0, name, target).End()
 }
 
 // LossDrops returns packets dropped by random-loss windows so far.
@@ -206,10 +220,12 @@ func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
 func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection, error) {
 	k := net.Kernel()
 	in := &Injection{
-		net: net,
-		k:   k,
-		rng: sim.NewRNG(k.RNG().Int63()),
-		rec: k.Metrics().Events(),
+		net:   net,
+		k:     k,
+		rng:   sim.NewRNG(k.RNG().Int63()),
+		rec:   k.Metrics().Events(),
+		tr:    k.Tracer(),
+		trace: spans.DeriveTraceString(spans.NSFault, s.name),
 	}
 	// Sort by time (stable: same-time actions keep builder order) so
 	// scheduling order is deterministic regardless of builder style.
@@ -225,8 +241,10 @@ func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection
 				return nil, fmt.Errorf("faults: scenario %q: no link %q", s.name, a.target)
 			}
 			up := a.kind == actLinkUp
+			span := "fault." + a.kind
 			k.At(a.at, sim.PrioNormal, func() {
 				in.rec.Emit(metrics.EvFaultInject, a.kind, 0, 0, 0)
+				in.instant(span, a.target)
 				l.SetUp(up)
 			})
 		case actNodeDown, actNodeUp:
@@ -235,8 +253,10 @@ func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection
 				return nil, fmt.Errorf("faults: scenario %q: no node %q", s.name, a.target)
 			}
 			up := a.kind == actNodeUp
+			span := "fault." + a.kind
 			k.At(a.at, sim.PrioNormal, func() {
 				in.rec.Emit(metrics.EvFaultInject, a.kind, 0, 0, 0)
+				in.instant(span, a.target)
 				for _, iface := range nd.Ifaces() {
 					iface.Link().SetUp(up)
 				}
@@ -257,24 +277,38 @@ func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection
 			}
 			switch a.kind {
 			case actCtrlLoss:
+				// The loss window is one span: Begin when the impairment
+				// arms, End when it clears. Open-ended windows get an
+				// instant marker instead (the span would never end).
+				var wsp *spans.Span
+				windowed := a.until > a.at
 				k.At(a.at, sim.PrioNormal, func() {
 					in.rec.Emit(metrics.EvFaultInject, actCtrlLoss, int64(a.prob*1e6), 0, 0)
+					if windowed {
+						wsp = in.tr.Begin(in.trace, 0, "fault.ctrl-loss", a.target)
+						wsp.Int("prob_ppm", int64(a.prob*1e6))
+					} else {
+						in.instant("fault.ctrl-loss", a.target)
+					}
 					t.SetCtrlLoss(a.prob)
 				})
-				if a.until > a.at {
+				if windowed {
 					k.At(a.until, sim.PrioNormal, func() {
 						in.rec.Emit(metrics.EvFaultInject, actCtrlLossEnd, 0, 0, 0)
+						wsp.End()
 						t.SetCtrlLoss(0)
 					})
 				}
 			case actCtrlCrash:
 				k.At(a.at, sim.PrioNormal, func() {
 					in.rec.Emit(metrics.EvFaultInject, actCtrlCrash, 0, 0, 0)
+					in.instant("fault.ctrl-crash", a.target)
 					t.CtrlCrash()
 				})
 			case actCtrlRestart:
 				k.At(a.at, sim.PrioNormal, func() {
 					in.rec.Emit(metrics.EvFaultInject, actCtrlRestart, 0, 0, 0)
+					in.instant("fault.ctrl-restart", a.target)
 					t.CtrlRestart()
 				})
 			}
@@ -314,13 +348,26 @@ func (in *Injection) installImpairment(l *netsim.Link, a action) {
 	l.A().InsertIngress(imp)
 	l.B().InsertIngress(imp)
 	startKind, endKind := actLossStart, actLossEnd
+	spanName := "fault.loss"
+	if a.corrupt {
+		spanName = "fault.corrupt"
+	}
+	windowed := a.until > a.at
 	in.k.At(a.at, sim.PrioNormal, func() {
 		in.rec.Emit(metrics.EvFaultInject, startKind, int64(a.prob*1e6), 0, 0)
+		if windowed {
+			imp.span = in.tr.Begin(in.trace, 0, spanName, a.target)
+			imp.span.Int("prob_ppm", int64(a.prob*1e6))
+		} else {
+			in.instant(spanName, a.target)
+		}
 		imp.active = true
 	})
-	if a.until > a.at {
+	if windowed {
 		in.k.At(a.until, sim.PrioNormal, func() {
 			in.rec.Emit(metrics.EvFaultInject, endKind, 0, 0, 0)
+			imp.span.Int("drops", int64(imp.drops))
+			imp.span.End()
 			imp.active = false
 		})
 	}
@@ -333,6 +380,10 @@ type impairment struct {
 	prob    float64
 	corrupt bool
 	active  bool
+	// span covers the active window; drops counts packets this filter
+	// killed during it (exported as a span attribute at window end).
+	span  *spans.Span
+	drops uint64
 }
 
 // Filter implements netsim.IngressFilter.
@@ -340,6 +391,7 @@ func (im *impairment) Filter(p *netsim.Packet) *netsim.Packet {
 	if !im.active || im.in.rng.Float64() >= im.prob {
 		return p
 	}
+	im.drops++
 	if im.corrupt {
 		im.in.corruptDrops++
 		im.in.rec.Emit(metrics.EvFaultInject, actCorruptDrop, int64(p.Size), int64(p.DSCP), 0)

@@ -9,6 +9,7 @@ import (
 	"mpichgq/internal/dsrt"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/units"
 )
 
@@ -148,6 +149,11 @@ type Gara struct {
 	mAborts       *metrics.Counter
 	mLeaseExpired *metrics.Counter
 	rec           *metrics.Recorder
+	tr            *spans.Tracer
+	// spanCtx is the propagation context reservation spans parent
+	// under; the ctrlplane server installs it around each dispatched
+	// request so a lease span links to the RPC that created it.
+	spanCtx spans.Context
 }
 
 // New returns a Gara with no managers registered.
@@ -171,7 +177,29 @@ func New(k *sim.Kernel) *Gara {
 	g.mLeaseExpired = reg.Counter("gara_leases_expired_total",
 		"prepared reservations reclaimed by lease expiry")
 	g.rec = reg.Events()
+	g.tr = k.Tracer()
 	return g
+}
+
+// SetSpanContext installs the trace context that subsequent
+// reservation spans parent under, returning the previous context so
+// callers can restore it. The ctrlplane server brackets each
+// dispatched request with this, which is safe because the kernel
+// admits one runnable goroutine at a time.
+func (g *Gara) SetSpanContext(c spans.Context) spans.Context {
+	prev := g.spanCtx
+	g.spanCtx = c
+	return prev
+}
+
+// spanFor returns the (trace, parent) a new span about reservation id
+// should use: the installed propagation context if one is set, else a
+// fresh trace derived from the reservation ID.
+func (g *Gara) spanFor(id uint64) (spans.TraceID, spans.SpanID) {
+	if g.spanCtx.Valid() {
+		return g.spanCtx.Trace, g.spanCtx.Parent
+	}
+	return spans.DeriveTrace(spans.NSReservation, id), 0
 }
 
 // Register installs a resource manager. Only certain elements of the
@@ -249,15 +277,21 @@ func (g *Gara) Reserve(spec Spec) (*Reservation, error) {
 	g.nextID++
 	r := &Reservation{g: g, id: g.nextID, spec: spec, rm: rm}
 	r.start, r.end = spec.window(g.k.Now())
+	trace, parent := g.spanFor(r.id)
+	sp := g.tr.Begin(trace, parent, "gara.reserve", string(spec.Type))
+	sp.Int("res", int64(r.id))
 	if err := rm.Admit(r); err != nil {
 		g.mRejects.Inc()
 		g.rec.Emit(metrics.EvAdmissionReject, string(spec.Type), 0, 0, 0)
+		sp.EndStatus(spans.StatusFailed)
 		return nil, err
 	}
 	g.mReserved.Inc()
 	if err := r.begin(); err != nil {
+		sp.EndStatus(spans.StatusFailed)
 		return nil, err
 	}
+	sp.End()
 	return r, nil
 }
 

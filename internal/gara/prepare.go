@@ -7,6 +7,7 @@ import (
 
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 )
 
 // Two-phase reservation support. GARA's co-reservations span "resources
@@ -85,6 +86,9 @@ type Prepared struct {
 	state    PrepareState
 	leaseEnd time.Duration
 	timer    sim.Timer
+	// span covers the lease window: Begin at Prepare, End at Commit
+	// (ok), Abort / failed activation (failed), or expiry (leaked).
+	span *spans.Span
 }
 
 // Prepare books capacity for spec under a lease of the given TTL
@@ -103,17 +107,24 @@ func (g *Gara) Prepare(spec Spec, ttl time.Duration) (*Prepared, error) {
 	g.nextID++
 	r := &Reservation{g: g, id: g.nextID, spec: spec, rm: rm}
 	r.start, r.end = spec.window(g.k.Now())
+	trace, parent := g.spanFor(r.id)
+	sp := g.tr.Begin(trace, parent, "gara.prepare", string(spec.Type))
+	sp.Int("res", int64(r.id))
 	if err := rm.Admit(r); err != nil {
 		g.mRejects.Inc()
 		g.rec.Emit(metrics.EvAdmissionReject, string(spec.Type), 0, 0, 0)
+		sp.EndStatus(spans.StatusFailed)
 		return nil, err
 	}
 	p := &Prepared{g: g, r: r, leaseEnd: g.k.Now() + ttl}
+	p.span = g.tr.Begin(trace, sp.SpanID(), "gara.lease", string(spec.Type))
+	p.span.Int("res", int64(r.id)).Int("ttl_ns", int64(ttl))
 	if ln, ok := rm.(LeaseNoter); ok {
 		ln.NoteLease(r.id, p.leaseEnd)
 	}
 	p.timer = g.k.At(p.leaseEnd, sim.PrioNormal, p.expire)
 	g.mPrepares.Inc()
+	sp.End()
 	return p, nil
 }
 
@@ -150,6 +161,7 @@ func (p *Prepared) expire() {
 	p.r.rm.Release(p.r)
 	p.g.mLeaseExpired.Inc()
 	p.g.rec.Emit(metrics.EvCtrlLease, "expired", int64(p.r.id), 0, 0)
+	p.span.EndStatus(spans.StatusLeaked)
 }
 
 // Commit is phase two: the booking becomes a normal reservation
@@ -171,11 +183,13 @@ func (p *Prepared) Commit() (*Reservation, error) {
 	}
 	if err := p.r.begin(); err != nil {
 		p.state = PrepareAborted
+		p.span.EndStatus(spans.StatusFailed)
 		return nil, err
 	}
 	p.state = PrepareCommitted
 	p.g.mCommits.Inc()
 	p.g.mReserved.Inc()
+	p.span.End()
 	return p.r, nil
 }
 
@@ -189,4 +203,5 @@ func (p *Prepared) Abort() {
 	p.timer.Cancel()
 	p.r.rm.Release(p.r)
 	p.g.mAborts.Inc()
+	p.span.EndStatus(spans.StatusFailed)
 }

@@ -258,6 +258,41 @@ func (r *Recorder) Since(seq uint64) []Event {
 	return all[i:]
 }
 
+// EventFilter selects flight-recorder events for tail-style queries
+// (gqctl events, gqd /events).
+type EventFilter struct {
+	// Type, when not EvNone, keeps only events of that type.
+	Type EventType
+	// Subject, when nonempty, keeps only events with that subject.
+	Subject string
+	// Since keeps only events at or after this virtual time. (The zero
+	// value keeps everything: no event precedes t=0.)
+	Since time.Duration
+	// Last, when positive, keeps only the last N matches.
+	Last int
+}
+
+// FilterEvents applies f to an event list, preserving order.
+func FilterEvents(events []Event, f EventFilter) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if f.Type != EvNone && e.Type != f.Type {
+			continue
+		}
+		if f.Subject != "" && e.Subject != f.Subject {
+			continue
+		}
+		if e.At < f.Since {
+			continue
+		}
+		out = append(out, e)
+	}
+	if f.Last > 0 && len(out) > f.Last {
+		out = out[len(out)-f.Last:]
+	}
+	return out
+}
+
 // sortSearchEvents finds the first index with Seq >= seq (events are
 // seq-ordered).
 func sortSearchEvents(evs []Event, seq uint64) int {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mpichgq/internal/metrics"
+	"mpichgq/internal/spans"
 )
 
 // Event priorities. Lower values run first among events scheduled for
@@ -176,6 +177,7 @@ type Kernel struct {
 	stopped bool
 	err     error
 	metrics *metrics.Registry
+	tracer  *spans.Tracer
 }
 
 // New returns a kernel with its clock at zero and a deterministic RNG
@@ -183,6 +185,7 @@ type Kernel struct {
 func New(seed int64) *Kernel {
 	k := &Kernel{rng: NewRNG(seed)}
 	k.metrics = metrics.New(k.Now)
+	k.tracer = spans.New(k.Now)
 	return k
 }
 
@@ -193,6 +196,11 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // built on this kernel registers its series and emits flight-recorder
 // events here, with timestamps from the kernel clock.
 func (k *Kernel) Metrics() *metrics.Registry { return k.metrics }
+
+// Tracer returns the kernel's causal span tracer. It is disabled by
+// default (Begin returns inert nil spans); experiment drivers enable
+// it before the run when a trace export was requested.
+func (k *Kernel) Tracer() *spans.Tracer { return k.tracer }
 
 // RNG returns the kernel's deterministic random number generator.
 func (k *Kernel) RNG() *RNG { return k.rng }

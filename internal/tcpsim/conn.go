@@ -7,6 +7,7 @@ import (
 
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/units"
 )
 
@@ -107,6 +108,15 @@ type Conn struct {
 
 	stats ConnStats
 
+	// Causal tracing: trace is the flow's trace ID (shared by both
+	// endpoints — the 4-tuple is ordered canonically before hashing);
+	// connect is the handshake span, kept after End so recovery spans
+	// can parent under it; recSpan is the open fast-recovery episode.
+	tr      *spans.Tracer
+	trace   spans.TraceID
+	connect *spans.Span
+	recSpan *spans.Span
+
 	// TraceSend, if non-nil, is called for every data segment
 	// transmission (including retransmissions); Figure 7's
 	// sequence-number traces hook in here.
@@ -161,7 +171,20 @@ func newConn(s *Stack, lport netsim.Port, raddr netsim.Addr, rport netsim.Port) 
 	// the byte stream starts at position 1.
 	c.sndUna, c.sndNxt, c.sndBufEnd = 0, 0, 1
 	c.rcvNxt, c.readPos = 0, 1
+	c.tr = s.k.Tracer()
+	c.trace = flowTrace(s.node.Addr(), lport, raddr, rport)
 	return c
+}
+
+// flowTrace derives the flow's trace ID from its 4-tuple, ordered
+// canonically so both endpoints of a connection land in one trace.
+func flowTrace(laddr netsim.Addr, lport netsim.Port, raddr netsim.Addr, rport netsim.Port) spans.TraceID {
+	lo := uint64(laddr)<<16 | uint64(lport)
+	hi := uint64(raddr)<<16 | uint64(rport)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return spans.DeriveTrace(spans.NSFlow, lo*0x9e3779b97f4a7c15^hi)
 }
 
 // LocalPort returns the connection's local port.
@@ -464,6 +487,12 @@ func (c *Conn) destroy(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+	// A handshake that never completed failed; an interrupted recovery
+	// episode ends with the connection. (End is idempotent, so a
+	// connect span already closed at establishment is untouched.)
+	c.connect.EndStatus(spans.StatusFailed)
+	c.recSpan.EndStatus(spans.StatusFailed)
+	c.recSpan = nil
 	c.rtxTimer.Cancel()
 	c.delack.Cancel()
 	c.persistTimer.Cancel()

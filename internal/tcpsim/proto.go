@@ -5,6 +5,7 @@ import (
 
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/netsim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/units"
 )
 
@@ -241,6 +242,13 @@ func (c *Conn) onRTO() {
 	}
 	c.cwnd = float64(c.mss)
 	c.inRecovery = false
+	// An RTO during fast recovery means recovery failed; either way the
+	// timeout itself is an instant span on the flow's trace.
+	c.recSpan.EndStatus(spans.StatusFailed)
+	c.recSpan = nil
+	c.tr.Begin(c.trace, c.connect.SpanID(), "tcp.rto", c.stack.m.nodeName).
+		Int("seq", c.sndUna).Int("rto_ns", int64(c.rto)).
+		EndStatus(spans.StatusBreached)
 	c.dupAcks = 0
 	c.rttTiming = false
 	c.rto *= 2
@@ -311,6 +319,7 @@ func (c *Conn) handleSegment(seg *segment, p *netsim.Packet) {
 			c.sndMax = seg.ack
 			c.rwnd = seg.wnd
 			c.state = stateEstablished
+			c.connect.End()
 			c.sendAck()
 			c.established.Broadcast()
 		}
@@ -326,6 +335,7 @@ func (c *Conn) handleSegment(seg *segment, p *netsim.Packet) {
 			c.sndMax = seg.ack
 			c.rwnd = seg.wnd
 			c.state = stateEstablished
+			c.connect.End()
 			c.established.Broadcast()
 			if c.listener != nil {
 				if c.listener.closed {
@@ -391,6 +401,9 @@ func (c *Conn) processAck(seg *segment) {
 			if !c.stack.opts.NewReno || ack > c.recover {
 				// Full ACK: leave fast recovery.
 				c.inRecovery = false
+				c.recSpan.Int("cwnd_exit", int64(c.ssthresh))
+				c.recSpan.End()
+				c.recSpan = nil
 				c.cwnd = c.ssthresh
 				c.dupAcks = 0
 			} else {
@@ -453,6 +466,8 @@ func (c *Conn) processAck(seg *segment) {
 			}
 			c.recover = c.sndNxt
 			c.inRecovery = true
+			c.recSpan = c.tr.Begin(c.trace, c.connect.SpanID(), "tcp.recovery", c.stack.m.nodeName)
+			c.recSpan.Int("seq", c.sndUna).Int("cwnd_entry", int64(c.cwnd))
 			c.cwnd = c.ssthresh + 3*mss
 			c.retransmitHole()
 			c.restartRtx()

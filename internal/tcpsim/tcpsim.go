@@ -295,6 +295,8 @@ func (s *Stack) DialFrom(ctx *sim.Ctx, lport netsim.Port, raddr netsim.Addr, rpo
 	c := newConn(s, lport, raddr, rport)
 	s.conns[key] = c
 	c.state = stateSynSent
+	c.connect = c.tr.Begin(c.trace, 0, "tcp.connect", s.m.nodeName)
+	c.connect.Int("lport", int64(lport)).Int("rport", int64(rport))
 	rto := s.opts.InitialRTO
 	for attempt := 0; attempt < s.opts.SynRetries; attempt++ {
 		c.sendFlags(flagSYN, c.iss, 0)
@@ -384,6 +386,8 @@ func (l *Listener) handleSyn(seg *segment, p *netsim.Packet) {
 	s.conns[key] = c
 	c.listener = l
 	c.state = stateSynRcvd
+	c.connect = c.tr.Begin(c.trace, 0, "tcp.accept", s.m.nodeName)
+	c.connect.Int("lport", int64(p.DstPort)).Int("rport", int64(p.SrcPort))
 	c.rcvNxt = seg.seq + 1
 	c.irs = seg.seq
 	c.sendFlags(flagSYN|flagACK, c.iss, c.rcvNxt)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-test the gqd observability daemon end to end: start a short
+# fig5 run on a free port, require 200 + non-empty bodies from every
+# endpoint, then SIGTERM and require a clean shutdown. Run via
+# `make smoke-gqd`; CI runs it in the gqd-smoke job.
+set -euo pipefail
+
+bin="${TMPDIR:-/tmp}/gqd-smoke-bin"
+log="$(mktemp)"
+body="$(mktemp)"
+go build -o "$bin" ./cmd/gqd
+
+"$bin" -addr 127.0.0.1:0 -scenario fig5 -dur 10s -pace 0 >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin" "$log" "$body"' EXIT
+
+# Wait for the daemon to report its listen address.
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$log")"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "gqd smoke: daemon never reported a listen address" >&2
+  cat "$log" >&2
+  exit 1
+fi
+base="http://127.0.0.1:$port"
+
+check() {
+  path="$1"
+  code="$(curl -s -o "$body" -w '%{http_code}' "$base$path")"
+  if [ "$code" != 200 ]; then
+    echo "gqd smoke: GET $path -> HTTP $code" >&2
+    cat "$body" >&2
+    exit 1
+  fi
+  if [ ! -s "$body" ]; then
+    echo "gqd smoke: GET $path returned an empty body" >&2
+    exit 1
+  fi
+  echo "gqd smoke: GET $path OK ($(wc -c <"$body") bytes)"
+}
+
+check /healthz
+check /metrics
+check '/traces?limit=1'
+check '/events?n=5'
+
+kill -TERM "$pid"
+wait "$pid"
+if ! grep -q 'shut down cleanly' "$log"; then
+  echo "gqd smoke: daemon did not shut down cleanly" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "gqd smoke: all endpoints healthy, clean SIGTERM shutdown"
