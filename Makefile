@@ -29,12 +29,15 @@ test:
 test-short:
 	$(GO) test ./... -short -timeout 600s
 
-# Control-plane chaos soak: crash/restart and lossy-channel tests under
-# the race detector. Seeds are fixed in the tests, so runs are
+# Chaos soak: control-plane crash/restart, lossy-channel, and MPI
+# rank-failure tests under the race detector, plus the traced-figure
+# determinism regressions (-parallel 1 vs 8 byte-identical, crash
+# schedules included). Seeds are fixed in the tests, so runs are
 # reproducible.
 test-chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Soak|Crash|Breaker|Gate' \
+	$(GO) test -race -count=1 -run 'Chaos|Soak|Crash|Breaker|Gate|TraceDeterministic' \
 		./internal/ctrlplane/... ./internal/faults/... ./internal/gara/... ./internal/core/... \
+		./internal/mpi/... ./internal/experiments/... \
 		-timeout 900s
 
 bench:
@@ -79,6 +82,7 @@ figures:
 	$(GO) run ./cmd/garnet -exp fig9 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figF -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figG -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp figH -svgdir docs/figures >/dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

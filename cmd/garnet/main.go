@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|table1|isvsds|latency|ablations|all
+//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|figH|table1|isvsds|latency|ablations|all
 //	       [-scale 1.0] [-seed 1] [-parallel N] [-svgdir dir]
 //	       [-cpuprofile file] [-memprofile file]
 //	garnet -topology
@@ -29,14 +29,14 @@ import (
 var svgDir string
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, figG, table1, isvsds, latency, ablations, all")
+	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, figG, figH, table1, isvsds, latency, ablations, all")
 	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
 	parallel := flag.Int("parallel", experiments.MaxParallel(),
 		"worker count for sweep experiments (output is identical for any value)")
 	traceOut := flag.String("trace", "",
-		"write the experiment's causal spans as Chrome trace-event JSON to this file (fig5, figG)")
+		"write the experiment's causal spans as Chrome trace-event JSON to this file (fig5, figG, figH)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.StringVar(&svgDir, "svgdir", "", "directory to write SVG figures into (optional)")
@@ -136,6 +136,8 @@ func main() {
 			runFigF(cfg)
 		case "figG":
 			runFigG(cfg)
+		case "figH":
+			runFigH(cfg)
 		case "table1":
 			fmt.Print(experiments.Table1Render(experiments.RunTable1(cfg)))
 		case "isvsds":
@@ -162,7 +164,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "figG", "table1", "isvsds", "latency", "ablations"} {
+		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "figG", "figH", "table1", "isvsds", "latency", "ablations"} {
 			fmt.Printf("=== %s ===\n", id)
 			run(id)
 			fmt.Println()
@@ -299,6 +301,38 @@ func runFigG(cfg experiments.Config) {
 		Title:  "Figure G: orphaned EF capacity vs control-channel loss",
 		XLabel: "control-channel loss (%)", YLabel: "capacity leak (MB)",
 		Series: []trace.Series{leak(r.TwoPhase, "two-phase + leases"), leak(r.Naive, "naive")},
+	})
+}
+
+func runFigH(cfg experiments.Config) {
+	r := experiments.RunFigureH(cfg)
+	fmt.Println("Figure H: job survival and time-to-recover vs rank MTBF (worker crash/restart, with and without checkpointing)")
+	fmt.Print(experiments.FigureHTable(r).String())
+	survival := func(pts []experiments.FigureHPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.MTBF.Seconds())
+			ys = append(ys, 100*p.SurvivalRate)
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	ttr := func(pts []experiments.FigureHPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.MTBF.Seconds())
+			ys = append(ys, p.MeanTTR.Seconds())
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	writeSVG("figH-survival", trace.Plot{
+		Title:  "Figure H: job survival rate vs rank MTBF",
+		XLabel: "rank MTBF (s)", YLabel: "survival rate (%)",
+		Series: []trace.Series{survival(r.Ckpt, "checkpointed"), survival(r.NoCkpt, "no checkpoints")},
+	})
+	writeSVG("figH-ttr", trace.Plot{
+		Title:  "Figure H: mean time-to-recover vs rank MTBF",
+		XLabel: "rank MTBF (s)", YLabel: "time to recover (s)",
+		Series: []trace.Series{ttr(r.Ckpt, "checkpointed"), ttr(r.NoCkpt, "no checkpoints")},
 	})
 }
 

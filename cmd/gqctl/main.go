@@ -259,12 +259,14 @@ func traceCmd(args []string) {
 	tr := tb.K.Tracer()
 	matched := tr.Trace(spans.DeriveTrace(spans.NSReservation, id))
 	if len(matched) == 0 {
-		fmt.Printf("no spans for reservation %d; reservations traced in this run:\n", id)
+		// Diagnostics go to stderr so scripted callers piping stdout
+		// see the non-zero exit with an empty tree, not a fake one.
+		fmt.Fprintf(os.Stderr, "gqctl trace: no spans for reservation %d; reservations traced in this run:\n", id)
 		seen := map[spans.TraceID]bool{}
 		for _, s := range tr.Query(spans.Filter{NamePrefix: "gara."}) {
 			if !seen[s.Trace] {
 				seen[s.Trace] = true
-				fmt.Printf("  %s %s (%s)\n", s.Trace, s.Name, s.Subject)
+				fmt.Fprintf(os.Stderr, "  %s %s (%s)\n", s.Trace, s.Name, s.Subject)
 			}
 		}
 		os.Exit(1)

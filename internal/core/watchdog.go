@@ -22,6 +22,7 @@ const (
 	phaseFallback = "fallback"
 	phaseUpgrade  = "upgrade"
 	phaseGated    = "gated"
+	phaseRebind   = "rebind"
 )
 
 // RepairGate lets an external health signal veto repair attempts — in
@@ -83,8 +84,13 @@ type Watchdog struct {
 	// episodes numbers breach→repair episodes so each gets its own
 	// deterministic trace.
 	episodes uint64
+	// rebind is set by the rank-restart observer: a member of the
+	// watched communicator came back in a new incarnation, so the
+	// premium reservation covers stale endpoints and must be rebuilt
+	// even though goodput may not yet register as breached.
+	rebind bool
 
-	repairs, fallbacks, upgrades int
+	repairs, fallbacks, upgrades, rebinds int
 }
 
 // NewWatchdog prepares self-healing for rank r's premium binding on c
@@ -106,7 +112,7 @@ func (a *Agent) NewWatchdog(r *mpi.Rank, c *mpi.Comm, target units.BitRate) (*Wa
 		return nil, fmt.Errorf("gq: watchdog needs a two-party communicator")
 	}
 	k := a.g.Kernel()
-	return &Watchdog{
+	w := &Watchdog{
 		agent:          a,
 		rank:           r,
 		comm:           c,
@@ -120,7 +126,23 @@ func (a *Agent) NewWatchdog(r *mpi.Rank, c *mpi.Comm, target units.BitRate) (*Wa
 		recv:           a.job.Rank(peer).RecvBytesCounter(c),
 		rec:            k.Metrics().Events(),
 		tr:             k.Tracer(),
-	}, nil
+	}
+	// Close the QoS loop on rank restart: when a member of the watched
+	// communicator comes back, its flows run over new connections the
+	// old reservation does not cover, so the next watchdog cycle
+	// re-reserves through GARA rather than waiting for goodput decay.
+	a.job.Notify(func(rank int, ev mpi.RankEvent) {
+		if ev != mpi.RankRestarted || rank == w.rank.ID() {
+			return
+		}
+		for _, g := range c.Group() {
+			if g == rank {
+				w.rebind = true
+				return
+			}
+		}
+	})
+	return w, nil
 }
 
 // Run executes the watchdog in the calling process until dur elapses
@@ -136,6 +158,32 @@ func (w *Watchdog) Run(ctx *sim.Ctx, interval, dur time.Duration) {
 		ctx.Sleep(interval)
 		w.sample(k.Now() - lastAt)
 		lastAt = k.Now()
+		if w.rebind {
+			w.rebind = false
+			w.episodes++
+			trace := spans.DeriveTrace(spans.NSWatchdog,
+				uint64(w.rank.ID())<<40|uint64(w.comm.Context())<<16|w.episodes)
+			sp := w.tr.Begin(trace, 0, "wd.rebind", "watchdog")
+			sp.Int("rank", int64(w.rank.ID())).
+				Int("ctx", int64(w.comm.Context()))
+			if w.rebuild() {
+				w.rebinds++
+				w.rec.Emit(metrics.EvQosRepair, phaseRebind,
+					int64(w.rank.ID()), int64(w.comm.Context()), 0)
+				sp.End()
+			} else {
+				// Re-admission refused; leave it to the breach machinery
+				// (the unhealthy binding trips breachedNow immediately).
+				sp.EndStatus(spans.StatusFailed)
+			}
+			// Goodput accounting restarts: samples spanning the outage
+			// window would re-trigger on stale data.
+			w.fc = nws.NewForecaster()
+			w.breaches = 0
+			w.lastBytes = w.recv.Value()
+			lastAt = k.Now()
+			continue
+		}
 		if w.breachedNow() {
 			w.breaches++
 		} else {
@@ -294,6 +342,14 @@ func (w *Watchdog) tryRestore() bool {
 	// In-place repair failed; rebuild from scratch. Losing the race
 	// here leaves no binding, and the next attempt takes the
 	// fresh-install path above.
+	return w.rebuild()
+}
+
+// rebuild tears the binding down to best effort and re-applies the
+// premium attribute, re-reserving over the communicator's current
+// endpoints — the repair of last resort, and the whole repair when a
+// peer restarted and the old reservation points at a dead flow.
+func (w *Watchdog) rebuild() bool {
 	be := QosAttribute{Class: BestEffort}
 	_ = w.agent.Apply(w.rank, w.comm, &be)
 	attr := w.attr
@@ -314,3 +370,7 @@ func (w *Watchdog) Fallbacks() int { return w.fallbacks }
 // Upgrades returns how many times the flow was promoted back from a
 // fallback.
 func (w *Watchdog) Upgrades() int { return w.upgrades }
+
+// Rebinds returns how many times the premium binding was re-reserved
+// because a communicator member restarted.
+func (w *Watchdog) Rebinds() int { return w.rebinds }

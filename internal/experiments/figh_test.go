@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpichgq/internal/spans"
+)
+
+// TestFigHCheckpointingHelpsSurvival pins the figure's qualitative
+// story: checkpointing dominates restart-from-scratch at harsh MTBFs,
+// crashes actually happen at the short end, recovery re-reserves the
+// premium flow through GARA (rebinds), and pressure relaxes as MTBF
+// grows.
+func TestFigHCheckpointingHelpsSurvival(t *testing.T) {
+	// Network transfer time does not scale with TimeScale, so the
+	// scale must leave the 80 BSP rounds comfortable slack inside the
+	// scaled deadline; 0.2 keeps the run fast while preserving the
+	// figure's contrast.
+	res := RunFigureH(Config{Seed: 1, TimeScale: 0.2, Parallel: 8})
+	if len(res.Ckpt) != len(res.MTBFs) || len(res.NoCkpt) != len(res.MTBFs) {
+		t.Fatalf("points per mode = %d/%d, want %d", len(res.Ckpt), len(res.NoCkpt), len(res.MTBFs))
+	}
+	ckptSurv, noCkptSurv, crashes, rebinds := 0, 0, 0, 0
+	for i := range res.MTBFs {
+		if res.Ckpt[i].Survived < res.NoCkpt[i].Survived {
+			t.Errorf("mtbf=%v: checkpointed survival %d/%d below checkpoint-free %d/%d",
+				res.MTBFs[i], res.Ckpt[i].Survived, res.Ckpt[i].Trials,
+				res.NoCkpt[i].Survived, res.NoCkpt[i].Trials)
+		}
+		ckptSurv += res.Ckpt[i].Survived
+		noCkptSurv += res.NoCkpt[i].Survived
+		crashes += res.Ckpt[i].Crashes + res.NoCkpt[i].Crashes
+		rebinds += res.Ckpt[i].Rebinds + res.NoCkpt[i].Rebinds
+	}
+	if ckptSurv <= noCkptSurv {
+		t.Errorf("checkpointing showed no overall advantage: %d vs %d survivals", ckptSurv, noCkptSurv)
+	}
+	if crashes == 0 {
+		t.Error("no rank crashes across the whole sweep — the MTBF schedule is inert")
+	}
+	if rebinds == 0 {
+		t.Error("no watchdog rebinds — restarts never closed the QoS loop through GARA")
+	}
+	// The harshest cell must see failures in the checkpoint-free mode,
+	// otherwise the figure shows nothing.
+	if res.NoCkpt[0].Survived == res.NoCkpt[0].Trials {
+		t.Errorf("mtbf=%v without checkpoints survived %d/%d — figure has no contrast",
+			res.MTBFs[0], res.NoCkpt[0].Survived, res.NoCkpt[0].Trials)
+	}
+	// Long MTBF should be benign for both modes.
+	last := len(res.MTBFs) - 1
+	if res.Ckpt[last].SurvivalRate < 0.8 {
+		t.Errorf("mtbf=%v checkpointed survival rate %.2f, want >= 0.8",
+			res.MTBFs[last], res.Ckpt[last].SurvivalRate)
+	}
+}
+
+// renderFigHTrace runs figure H with tracing on and returns the merged
+// Chrome trace file as a string.
+func renderFigHTrace(t *testing.T, parallel int) string {
+	t.Helper()
+	cfg := Config{Seed: 1, TimeScale: 0.05, Parallel: parallel, Trace: spans.NewCollector()}
+	RunFigureH(cfg)
+	var b strings.Builder
+	if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return b.String()
+}
+
+// TestFigHTraceDeterministicAcrossParallel: a traced figH run — crash
+// schedules, restarts, and watchdog rebinds included — must emit
+// byte-identical Chrome traces at -parallel 1 and -parallel 8, and
+// the trace must carry the failure lifecycle spans.
+func TestFigHTraceDeterministicAcrossParallel(t *testing.T) {
+	seq := renderFigHTrace(t, 1)
+	par := renderFigHTrace(t, 8)
+	if seq != par {
+		t.Fatalf("trace output differs between -parallel 1 and -parallel 8 (%d vs %d bytes)", len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("traced figH run produced no output")
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(seq), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	want := map[string]bool{"rank.crash": false, "rank.restart": false, "wd.rebind": false}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			if _, ok := want[ev.Name]; ok {
+				want[ev.Name] = true
+			}
+		}
+	}
+	for name, seen := range map[string]bool(want) {
+		if !seen {
+			t.Errorf("no %s span in traced figH run", name)
+		}
+	}
+}
+
+// TestFigHPointLayout pins the MTBF-major trial indexing that seeds
+// and trace PIDs depend on: every cell aggregates exactly figHTrials
+// trials and MTBFs ascend.
+func TestFigHPointLayout(t *testing.T) {
+	res := RunFigureH(Config{Seed: 3, TimeScale: 0.02, Parallel: 4})
+	for i := 1; i < len(res.MTBFs); i++ {
+		if res.MTBFs[i] <= res.MTBFs[i-1] {
+			t.Fatalf("MTBFs not ascending: %v", res.MTBFs)
+		}
+	}
+	for i, pt := range res.Ckpt {
+		if !pt.Ckpt || pt.MTBF != res.MTBFs[i] || pt.Trials != figHTrials {
+			t.Fatalf("Ckpt[%d] = %+v inconsistent with layout", i, pt)
+		}
+		if pt.Survived > pt.Trials {
+			t.Fatalf("Ckpt[%d] survived %d of %d", i, pt.Survived, pt.Trials)
+		}
+	}
+	for i, pt := range res.NoCkpt {
+		if pt.Ckpt || pt.MTBF != res.MTBFs[i] || pt.Trials != figHTrials {
+			t.Fatalf("NoCkpt[%d] = %+v inconsistent with layout", i, pt)
+		}
+	}
+}

@@ -43,6 +43,8 @@ const (
 	actCtrlLossEnd = "ctrl-loss-end"
 	actCtrlCrash   = "ctrl-crash"
 	actCtrlRestart = "ctrl-restart"
+	actRankCrash   = "rank-crash"
+	actRankRestart = "rank-restart"
 )
 
 // CtrlTarget is one domain's control-plane endpoint as the fault
@@ -66,6 +68,34 @@ type CtrlTarget interface {
 type CtrlResolver interface {
 	// CtrlTarget returns the named domain's endpoint, or nil.
 	CtrlTarget(name string) CtrlTarget
+}
+
+// RankTarget is one MPI rank's process as the fault injector sees it:
+// abrupt crash (the process dies, its connections abort, peers observe
+// MPI_ERRORS_RETURN-style typed errors) and restart (a fresh
+// incarnation rejoins the job, resuming from its last checkpoint).
+// Implemented by mpi.Job targets; defined here so faults does not
+// import mpi.
+type RankTarget interface {
+	// RankCrash kills the rank's process immediately.
+	RankCrash()
+	// RankRestart brings a crashed rank back as a new incarnation.
+	RankRestart()
+}
+
+// RankResolver resolves rank targets by task name ("rank-3") at Apply
+// time, the way links and nodes resolve against the network.
+type RankResolver interface {
+	// RankTarget returns the named rank's endpoint, or nil.
+	RankTarget(name string) RankTarget
+}
+
+// Targets bundles the non-network fault surfaces a scenario may act
+// on. Either field may be nil when the scenario has no actions of
+// that family.
+type Targets struct {
+	Ctrl  CtrlResolver
+	Ranks RankResolver
 }
 
 // action is one scheduled fault event.
@@ -171,6 +201,22 @@ func (s *Scenario) CtrlRestart(t time.Duration, domain string) *Scenario {
 	return s
 }
 
+// RankCrash schedules the named MPI rank (task name, e.g. "rank-3") to
+// fail at t. Scenarios using rank actions must be applied with
+// ApplyTargets.
+func (s *Scenario) RankCrash(t time.Duration, rank string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actRankCrash, target: rank})
+	return s
+}
+
+// RankRestart schedules the named crashed rank's recovery at t: a
+// fresh incarnation rejoins the job and resumes from its last
+// checkpoint.
+func (s *Scenario) RankRestart(t time.Duration, rank string) *Scenario {
+	s.actions = append(s.actions, action{at: t, kind: actRankRestart, target: rank})
+	return s
+}
+
 // Injection is a scenario applied to one network: it tracks the
 // scheduled timers and impairment filters so tests can inspect drop
 // counts.
@@ -218,6 +264,15 @@ func (s *Scenario) Apply(net *netsim.Network) (*Injection, error) {
 // CtrlCrash / CtrlRestart actions (nil is allowed when the scenario
 // has none).
 func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection, error) {
+	return s.ApplyTargets(net, Targets{Ctrl: ctrl})
+}
+
+// ApplyTargets is Apply plus resolvers for every non-network fault
+// family: control-plane actions resolve through t.Ctrl, rank crash/
+// restart actions through t.Ranks. A nil resolver is allowed when the
+// scenario has no actions of that family.
+func (s *Scenario) ApplyTargets(net *netsim.Network, tg Targets) (*Injection, error) {
+	ctrl := tg.Ctrl
 	k := net.Kernel()
 	in := &Injection{
 		net:   net,
@@ -267,6 +322,25 @@ func (s *Scenario) ApplyWith(net *netsim.Network, ctrl CtrlResolver) (*Injection
 				return nil, fmt.Errorf("faults: scenario %q: no link %q", s.name, a.target)
 			}
 			in.installImpairment(l, a)
+		case actRankCrash, actRankRestart:
+			if tg.Ranks == nil {
+				return nil, fmt.Errorf("faults: scenario %q has rank actions; use ApplyTargets", s.name)
+			}
+			t := tg.Ranks.RankTarget(a.target)
+			if t == nil {
+				return nil, fmt.Errorf("faults: scenario %q: no rank %q", s.name, a.target)
+			}
+			crash := a.kind == actRankCrash
+			span := "fault." + a.kind
+			k.At(a.at, sim.PrioNormal, func() {
+				in.rec.Emit(metrics.EvFaultInject, a.kind, 0, 0, 0)
+				in.instant(span, a.target)
+				if crash {
+					t.RankCrash()
+				} else {
+					t.RankRestart()
+				}
+			})
 		case actCtrlLoss, actCtrlCrash, actCtrlRestart:
 			if ctrl == nil {
 				return nil, fmt.Errorf("faults: scenario %q has control-plane actions; use ApplyWith", s.name)
@@ -332,6 +406,15 @@ func (s *Scenario) MustApply(net *netsim.Network) *Injection {
 // MustApplyWith is ApplyWith panicking on error.
 func (s *Scenario) MustApplyWith(net *netsim.Network, ctrl CtrlResolver) *Injection {
 	in, err := s.ApplyWith(net, ctrl)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// MustApplyTargets is ApplyTargets panicking on error.
+func (s *Scenario) MustApplyTargets(net *netsim.Network, tg Targets) *Injection {
+	in, err := s.ApplyTargets(net, tg)
 	if err != nil {
 		panic(err)
 	}

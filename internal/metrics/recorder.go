@@ -85,6 +85,15 @@ const (
 	// EvCtrlLease: a prepared reservation's lease changed. Subject=
 	// "expired" or "reclaimed", V1=reservation ID.
 	EvCtrlLease
+	// EvRankCrash: an MPI rank's process failed. Subject=task name,
+	// V1=world rank.
+	EvRankCrash
+	// EvRankRestart: a failed MPI rank rejoined the job. Subject=task
+	// name, V1=world rank, V2=incarnation epoch.
+	EvRankRestart
+	// EvRankCkpt: a rank saved a checkpoint. Subject=task name,
+	// V1=world rank, V2=application step.
+	EvRankCkpt
 	evSentinel // keep last
 )
 
@@ -111,6 +120,9 @@ var eventTypeNames = [...]string{
 	EvCtrlCrash:         "ctrl.crash",
 	EvCtrlRecover:       "ctrl.recover",
 	EvCtrlLease:         "ctrl.lease",
+	EvRankCrash:         "rank.crash",
+	EvRankRestart:       "rank.restart",
+	EvRankCkpt:          "rank.ckpt",
 }
 
 // String returns the event type's wire name (used by exporters).

@@ -83,8 +83,26 @@ type Job struct {
 	nextCtx  int
 	ctxAlloc map[string]int // deterministic collective ctx allocation
 
-	ready  int
-	goCond *sim.Cond
+	// main is the application entry point, retained so restarted rank
+	// incarnations can re-run it.
+	main func(ctx *sim.Ctx, r *Rank)
+
+	ready int
+	// initSkips counts ranks that crashed before completing MPI_Init;
+	// they count toward the init barrier so the survivors still start.
+	initSkips int
+	started   bool
+	goCond    *sim.Cond
+
+	// Fault-tolerance state (see ft.go).
+	failed     map[int]bool // currently failed world ranks
+	restarting map[int]bool // ranks mid-rejoin
+	restarts   int          // total restarts (0 = mesh never changed)
+	observers  []func(rank int, ev RankEvent)
+	errhandler Errhandler
+	restartOn  func(rank int) *Host
+	ckpts      map[int]Checkpoint // latest application checkpoint per rank
+	inits      map[int]Checkpoint // MPI_Init-time system snapshot per rank
 
 	keyvals map[Keyval]*keyvalInfo
 	nextKV  Keyval
@@ -97,13 +115,17 @@ func NewJob(k *sim.Kernel, hosts []*Host, opts JobOptions) *Job {
 		panic("mpi: job needs at least one rank")
 	}
 	j := &Job{
-		k:        k,
-		hosts:    hosts,
-		opts:     opts.withDefaults(),
-		nextCtx:  2, // 0/1 belong to the world communicator
-		ctxAlloc: make(map[string]int),
-		goCond:   sim.NewCond(k),
-		keyvals:  make(map[Keyval]*keyvalInfo),
+		k:          k,
+		hosts:      hosts,
+		opts:       opts.withDefaults(),
+		nextCtx:    2, // 0/1 belong to the world communicator
+		ctxAlloc:   make(map[string]int),
+		goCond:     sim.NewCond(k),
+		failed:     make(map[int]bool),
+		restarting: make(map[int]bool),
+		ckpts:      make(map[int]Checkpoint),
+		inits:      make(map[int]Checkpoint),
+		keyvals:    make(map[Keyval]*keyvalInfo),
 	}
 	group := make([]int, len(hosts))
 	for i := range group {
@@ -130,22 +152,41 @@ func (j *Job) World() *Comm { return j.world }
 func (j *Job) Kernel() *sim.Kernel { return j.k }
 
 // Start launches every rank: connections are established all-to-all,
-// then main runs on each rank's process. Call once.
+// then main runs on each rank's process. Call once. The main function
+// is retained: restarted rank incarnations re-run it, recovering
+// their state from LastCheckpoint.
 func (j *Job) Start(main func(ctx *sim.Ctx, r *Rank)) {
+	j.main = main
 	for _, r := range j.ranks {
 		r := r
 		j.k.Spawn(fmt.Sprintf("mpi-rank-%d", r.id), func(ctx *sim.Ctx) {
-			r.setup(ctx)
-			// Wait for every rank to finish wiring (MPI_Init).
+			if !r.setup(ctx) {
+				// Crashed during wiring; a restart re-enters through
+				// RestartRank's own process.
+				r.done = true
+				return
+			}
+			// Wait for every rank to finish wiring (MPI_Init). Ranks
+			// that crashed mid-wiring count via initSkips so the
+			// survivors are not stuck at the barrier.
+			r.inited = true
 			j.ready++
-			if j.ready == len(j.ranks) {
-				j.goCond.Broadcast()
-			} else {
+			j.maybeGo()
+			for !j.started {
 				j.goCond.Wait(ctx)
 			}
 			main(ctx, r)
 			r.done = true
 		})
+	}
+}
+
+// maybeGo releases the init barrier once every rank has either wired
+// up or crashed trying.
+func (j *Job) maybeGo() {
+	if !j.started && j.ready+j.initSkips >= len(j.ranks) {
+		j.started = true
+		j.goCond.Broadcast()
 	}
 }
 
@@ -179,6 +220,14 @@ type Rank struct {
 	host *Host
 	task *dsrt.Task
 	done bool
+
+	// Fault-tolerance state (see ft.go). epoch counts incarnations;
+	// crashed marks the current incarnation dead; inited records that
+	// MPI_Init completed; wired signals connection-mesh changes.
+	crashed bool
+	epoch   int
+	inited  bool
+	wired   *sim.Cond
 
 	listener  *tcpsim.Listener
 	conns     map[int]*globusio.IO
@@ -258,6 +307,7 @@ func newRank(j *Job, id int, h *Host) *Rank {
 		id:         id,
 		host:       h,
 		task:       h.CPU.NewTask(fmt.Sprintf("rank-%d", id)),
+		wired:      sim.NewCond(j.k),
 		conns:      make(map[int]*globusio.IO),
 		rdvPending: make(map[uint64]*rdvSend),
 		splitEpoch: make(map[int]int),
@@ -309,49 +359,96 @@ func (r *Rank) ioConfig() globusio.Config {
 type hello struct{ from int }
 
 // setup wires this rank to all others: dial every lower rank, accept
-// from every higher rank.
-func (r *Rank) setup(ctx *sim.Ctx) {
+// from every higher rank. The accept loop persists for the rank's
+// lifetime so restarted peers can reconnect. Returns false if this
+// rank was crashed while wiring.
+func (r *Rank) setup(ctx *sim.Ctx) bool {
 	l, err := r.host.TCP.Listen(r.job.port(r.id))
 	if err != nil {
 		panic(fmt.Sprintf("mpi: rank %d listen: %v", r.id, err))
 	}
 	r.listener = l
-	expectAccepts := r.job.Size() - 1 - r.id
-	acceptDone := sim.NewCond(r.job.k)
-	if expectAccepts > 0 {
-		ctx.SpawnChild(fmt.Sprintf("mpi-accept-%d", r.id), func(actx *sim.Ctx) {
-			for n := 0; n < expectAccepts; n++ {
-				c, err := l.Accept(actx)
-				if err != nil {
-					panic(fmt.Sprintf("mpi: rank %d accept: %v", r.id, err))
-				}
-				io := globusio.Wrap(r.job.k, c, r.ioConfig())
-				r.applySockBuf(io)
-				_, obj, err := io.ReadMsg(actx)
-				if err != nil {
-					panic(fmt.Sprintf("mpi: rank %d hello: %v", r.id, err))
-				}
-				peer := obj.(hello).from
-				r.registerConn(actx, peer, io)
-			}
-			acceptDone.Broadcast()
-		})
-	}
+	ctx.SpawnChild(fmt.Sprintf("mpi-accept-%d", r.id), func(actx *sim.Ctx) {
+		r.acceptLoop(actx, l)
+	})
 	for peer := 0; peer < r.id; peer++ {
-		c, err := r.host.TCP.Dial(ctx, r.job.hosts[peer].Node.Addr(), r.job.port(peer))
+		if r.job.failed[peer] {
+			continue // crashed before we could dial; nothing to wire
+		}
+		if !r.dialPeer(ctx, peer) {
+			return false
+		}
+	}
+	for !r.crashed && !r.wiredUp() {
+		r.wired.Wait(ctx)
+	}
+	return !r.crashed
+}
+
+// acceptLoop accepts peer connections for the life of the listener
+// (until Finalize or a crash closes it): the initial higher-rank
+// dials, and reconnects from restarted peers.
+func (r *Rank) acceptLoop(actx *sim.Ctx, l *tcpsim.Listener) {
+	for {
+		c, err := l.Accept(actx)
 		if err != nil {
-			panic(fmt.Sprintf("mpi: rank %d dial %d: %v", r.id, peer, err))
+			return // listener closed
 		}
 		io := globusio.Wrap(r.job.k, c, r.ioConfig())
 		r.applySockBuf(io)
-		if err := io.WriteMsg(ctx, int64ToSize(int64(envelopeSize)), hello{from: r.id}); err != nil {
-			panic(fmt.Sprintf("mpi: rank %d hello to %d: %v", r.id, peer, err))
+		_, obj, err := io.ReadMsg(actx)
+		if err != nil {
+			// Dialer died between connect and hello.
+			io.Close()
+			continue
 		}
-		r.registerConn(ctx, peer, io)
+		peer := obj.(hello).from
+		r.registerConn(actx, peer, io)
 	}
-	if expectAccepts > 0 && len(r.conns) < r.job.Size()-1 {
-		acceptDone.Wait(ctx)
+}
+
+// dialPeer connects to peer and sends the hello. Returns false only
+// if this rank crashed mid-dial; a peer that crashed under the dial
+// is skipped (its failure surfaces through the failed set instead).
+func (r *Rank) dialPeer(ctx *sim.Ctx, peer int) bool {
+	c, err := r.host.TCP.Dial(ctx, r.job.hosts[peer].Node.Addr(), r.job.port(peer))
+	if err != nil {
+		if r.crashed {
+			return false
+		}
+		if r.job.failed[peer] {
+			return true
+		}
+		panic(fmt.Sprintf("mpi: rank %d dial %d: %v", r.id, peer, err))
 	}
+	io := globusio.Wrap(r.job.k, c, r.ioConfig())
+	r.applySockBuf(io)
+	if err := io.WriteMsg(ctx, int64ToSize(int64(envelopeSize)), hello{from: r.id}); err != nil {
+		if r.crashed {
+			return false
+		}
+		if r.job.failed[peer] {
+			io.Close()
+			return true
+		}
+		panic(fmt.Sprintf("mpi: rank %d hello to %d: %v", r.id, peer, err))
+	}
+	r.registerConn(ctx, peer, io)
+	return true
+}
+
+// wiredUp reports whether this rank holds a connection to every
+// currently-live peer.
+func (r *Rank) wiredUp() bool {
+	for p := 0; p < r.job.Size(); p++ {
+		if p == r.id || r.job.failed[p] {
+			continue
+		}
+		if r.conns[p] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 func int64ToSize(n int64) units.ByteSize { return units.ByteSize(n) }
@@ -363,12 +460,20 @@ func (r *Rank) applySockBuf(io *globusio.IO) {
 }
 
 // registerConn records the connection and starts its reader (the
-// progress engine for that peer).
+// progress engine for that peer). A rank has exactly one live
+// incarnation, so in a job that has seen restarts the newest
+// connection for a peer wins; in a restart-free job a duplicate is
+// still the wiring bug it always was.
 func (r *Rank) registerConn(ctx *sim.Ctx, peer int, io *globusio.IO) {
-	if _, dup := r.conns[peer]; dup {
-		panic(fmt.Sprintf("mpi: rank %d has duplicate connection to %d", r.id, peer))
+	if old := r.conns[peer]; old != nil {
+		if r.job.restarts == 0 {
+			panic(fmt.Sprintf("mpi: rank %d has duplicate connection to %d", r.id, peer))
+		}
+		old.Close() // stale connection from the peer's previous incarnation
 	}
+	delete(r.deadPeers, peer)
 	r.conns[peer] = io
+	r.wired.Broadcast()
 	ctx.SpawnChild(fmt.Sprintf("mpi-reader-%d<-%d", r.id, peer), func(rctx *sim.Ctx) {
 		r.readerLoop(rctx, peer, io)
 	})

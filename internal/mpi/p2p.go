@@ -68,7 +68,10 @@ type envelope struct {
 	rdvFrom int       // global rank to send CTS to
 	matched bool      // a posted recv claimed it
 	ready   *sim.Cond // signalled when data arrives (rendezvous)
-	sentAt  time.Duration
+	// err marks a rendezvous envelope whose data will never arrive
+	// (the sender died between RTS and data); signalled via ready.
+	err    error
+	sentAt time.Duration
 }
 
 // postedRecv is a blocked or nonblocking receive awaiting a match.
@@ -81,17 +84,35 @@ type postedRecv struct {
 	cond *sim.Cond
 }
 
-// peerDown fails pending and future receives from a finished peer,
-// and releases rendezvous senders waiting on its clear-to-send.
-func (r *Rank) peerDown(peer int) {
+// peerDown fails pending and future receives from a finished or
+// failed peer, and releases rendezvous senders waiting on its
+// clear-to-send. A cleanly finalized peer yields ErrRankFinished and
+// leaves wildcard receives alone; a crashed peer yields the typed
+// *RankFailedError and also completes wildcard (AnySource) receives
+// with error, per the MPICH fault-tolerance model. conn identifies
+// the connection whose reader observed the shutdown: if a newer
+// connection to the peer has already replaced it (the peer
+// restarted), the teardown is stale and skipped.
+func (r *Rank) peerDown(peer int, conn *globusio.IO) {
+	if cur := r.conns[peer]; cur != nil && cur != conn {
+		return // superseded by the peer's new incarnation
+	} else if cur != nil {
+		delete(r.conns, peer)
+	}
 	if r.deadPeers == nil {
 		r.deadPeers = make(map[int]bool)
 	}
 	r.deadPeers[peer] = true
+	r.wired.Broadcast() // wake senders blocked on the reconnect window
+	err := error(ErrRankFinished)
+	crashed := r.job.failed[peer]
+	if crashed {
+		err = &RankFailedError{Rank: peer}
+	}
 	kept := r.posted[:0]
 	for _, p := range r.posted {
-		if p.src == peer {
-			p.err = ErrRankFinished
+		if p.src == peer || (crashed && p.src == AnySource) {
+			p.err = err
 			p.cond.Broadcast()
 			continue
 		}
@@ -100,9 +121,23 @@ func (r *Rank) peerDown(peer int) {
 	r.posted = kept
 	for _, s := range r.rdvPending {
 		if s.peer == peer && !s.cts {
-			s.err = ErrRankFinished
+			s.err = err
 			s.cond.Broadcast()
 		}
+	}
+	// Rendezvous envelopes announced by the dead peer whose data will
+	// never arrive: fail them so blocked receivers wake.
+	failEnv := func(e *envelope) {
+		if e.src == peer && !e.arrived && e.ready != nil && e.err == nil {
+			e.err = err
+			e.ready.Broadcast()
+		}
+	}
+	for _, e := range r.matchedRdv {
+		failEnv(e)
+	}
+	for _, e := range r.unexpected {
+		failEnv(e)
 	}
 }
 
@@ -119,7 +154,7 @@ type rdvSend struct {
 // connection shuts down (clean or not), pending receives from that
 // peer fail with ErrRankFinished rather than hanging.
 func (r *Rank) readerLoop(ctx *sim.Ctx, peer int, conn *globusio.IO) {
-	defer r.peerDown(peer)
+	defer r.peerDown(peer, conn)
 	for {
 		_, obj, err := conn.ReadMsg(ctx)
 		if err != nil {
@@ -201,6 +236,13 @@ func (r *Rank) completeRdv(m wireMsg) {
 		}
 		return
 	}
+	// Under failures the envelope may be legitimately gone: a crash
+	// fails matched envelopes and the blocked Recv drops them, but
+	// in-flight data can still be readable ahead of the connection
+	// teardown. Drop the stray; in a healthy job it is a protocol bug.
+	if r.crashed || len(r.job.failed) > 0 || r.job.restarts > 0 {
+		return
+	}
 	panic(fmt.Sprintf("mpi: rank %d got rendezvous data with no envelope (src=%d seq=%d)", r.id, m.src, m.seq))
 }
 
@@ -251,6 +293,12 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 	if err != nil {
 		return err
 	}
+	if r.crashed {
+		return r.handleErr(&RankFailedError{Rank: r.id})
+	}
+	if gdest != r.id && r.job.failed[gdest] {
+		return r.handleErr(&RankFailedError{Rank: gdest})
+	}
 	now := r.job.k.Now()
 	cm := r.commMetrics(comm.ctxID)
 	if gdest == r.id {
@@ -263,16 +311,37 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 		return nil
 	}
 	conn := r.conns[gdest]
+	// A restarted job may catch the peer mid-rejoin: it is alive (not
+	// failed, not finished) but its connection is still being wired.
+	// Block until the mesh change resolves — a registered connection, the
+	// peer's failure, or our own crash all broadcast wired.
+	for conn == nil && !r.crashed && r.job.restarts > 0 &&
+		!r.job.failed[gdest] && !r.deadPeers[gdest] {
+		r.wired.Wait(ctx)
+		conn = r.conns[gdest]
+	}
+	if r.crashed {
+		return r.handleErr(&RankFailedError{Rank: r.id})
+	}
 	if conn == nil {
+		if r.job.failed[gdest] {
+			return r.handleErr(&RankFailedError{Rank: gdest})
+		}
+		if r.deadPeers[gdest] {
+			return r.handleErr(ErrRankFinished)
+		}
 		return fmt.Errorf("mpi: rank %d has no connection to %d", r.id, gdest)
 	}
 	r.sent++
 	cm.sentMsgs.Inc()
 	cm.sentBytes.Add(int64(n))
 	if n <= r.job.opts.EagerThreshold {
-		return conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
+		if err := conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
 			kind: kindEager, src: r.id, ctx: comm.ctxID, tag: tag, size: n, data: data, sentAt: now,
-		})
+		}); err != nil {
+			return r.handleErr(r.commFail(gdest, err))
+		}
+		return nil
 	}
 	// Rendezvous: RTS, wait for CTS, then bulk data.
 	r.nextRdvSeq++
@@ -283,18 +352,34 @@ func (r *Rank) Send(ctx *sim.Ctx, comm *Comm, dest, tag int, n units.ByteSize, d
 		kind: kindRTS, src: r.id, ctx: comm.ctxID, tag: tag, size: n, seq: seq, sentAt: now,
 	}); err != nil {
 		delete(r.rdvPending, seq)
-		return err
+		return r.handleErr(r.commFail(gdest, err))
 	}
 	for !pend.cts && pend.err == nil {
 		pend.cond.Wait(ctx)
 	}
 	delete(r.rdvPending, seq)
 	if pend.err != nil {
-		return pend.err
+		return r.handleErr(pend.err)
 	}
-	return conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
+	if err := conn.WriteMsg(ctx, envelopeSize+n, wireMsg{
 		kind: kindRdvData, src: r.id, size: n, data: data, seq: seq,
-	})
+	}); err != nil {
+		return r.handleErr(r.commFail(gdest, err))
+	}
+	return nil
+}
+
+// commFail maps a transport-level write error to the MPI-level cause:
+// the local rank crashed mid-call, the peer is in the failed group, or
+// (otherwise) the raw transport error.
+func (r *Rank) commFail(peer int, err error) error {
+	if r.crashed {
+		return &RankFailedError{Rank: r.id}
+	}
+	if r.job.failed[peer] {
+		return &RankFailedError{Rank: peer}
+	}
+	return err
 }
 
 // Recv blocks until a message matching (src, tag) on comm arrives and
@@ -308,17 +393,20 @@ func (r *Rank) Recv(ctx *sim.Ctx, comm *Comm, src, tag int) (*Message, error) {
 			return nil, err
 		}
 	}
-	env, err := r.matchOrWait(ctx, comm.ctxID, gsrc, tag)
+	env, err := r.matchOrWait(ctx, comm, gsrc, tag)
 	if err != nil {
-		return nil, err
+		return nil, r.handleErr(err)
 	}
 	// Rendezvous: data may still be in flight.
 	if !env.arrived {
 		r.matchedRdv = append(r.matchedRdv, env)
-		for !env.arrived {
+		for !env.arrived && env.err == nil {
 			env.ready.Wait(ctx)
 		}
 		r.dropMatchedRdv(env)
+		if env.err != nil {
+			return nil, r.handleErr(env.err)
+		}
 	}
 	r.observeRecv(comm.ctxID, env)
 	return &Message{
@@ -344,8 +432,15 @@ func (r *Rank) observeRecv(ctxID int, env *envelope) {
 
 // matchOrWait finds the first matching unexpected envelope or posts a
 // receive and blocks. It fails fast when the awaited peer's
-// connection has shut down.
-func (r *Rank) matchOrWait(ctx *sim.Ctx, ctxID, gsrc, tag int) (*envelope, error) {
+// connection has shut down or the peer is in the failed-process
+// group; a wildcard receive fails when any rank in the communicator's
+// group has failed (MPI_ANY_SOURCE cannot complete safely — the
+// failed rank might have been the intended sender).
+func (r *Rank) matchOrWait(ctx *sim.Ctx, comm *Comm, gsrc, tag int) (*envelope, error) {
+	ctxID := comm.ctxID
+	if r.crashed {
+		return nil, &RankFailedError{Rank: r.id}
+	}
 	for i, e := range r.unexpected {
 		p := postedRecv{src: gsrc, ctx: ctxID, tag: tag}
 		if p.matches(e) {
@@ -355,8 +450,20 @@ func (r *Rank) matchOrWait(ctx *sim.Ctx, ctxID, gsrc, tag int) (*envelope, error
 			return e, nil
 		}
 	}
-	if gsrc != AnySource && gsrc != r.id && r.deadPeers[gsrc] {
-		return nil, ErrRankFinished
+	if gsrc != AnySource && gsrc != r.id {
+		if r.job.failed[gsrc] {
+			return nil, &RankFailedError{Rank: gsrc}
+		}
+		if r.deadPeers[gsrc] {
+			return nil, ErrRankFinished
+		}
+	}
+	if gsrc == AnySource && len(r.job.failed) > 0 {
+		for _, g := range comm.group {
+			if g != r.id && r.job.failed[g] {
+				return nil, &RankFailedError{Rank: g}
+			}
+		}
 	}
 	p := &postedRecv{src: gsrc, ctx: ctxID, tag: tag, cond: sim.NewCond(r.job.k)}
 	r.posted = append(r.posted, p)

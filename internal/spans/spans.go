@@ -129,6 +129,9 @@ const (
 	NSFault
 	// NSFlow keys traces by TCP 4-tuple hash.
 	NSFlow
+	// NSRank keys traces by MPI world rank: one trace tells the
+	// crash/restart story of one rank across its incarnations.
+	NSRank
 )
 
 // mix is the splitmix64 output finalizer (same construction as

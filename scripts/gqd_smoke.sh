@@ -10,19 +10,34 @@ log="$(mktemp)"
 body="$(mktemp)"
 go build -o "$bin" ./cmd/gqd
 
-"$bin" -addr 127.0.0.1:0 -scenario fig5 -dur 10s -pace 0 >"$log" 2>&1 &
-pid=$!
+pid=""
 trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin" "$log" "$body"' EXIT
 
-# Wait for the daemon to report its listen address.
+# Start the daemon on a kernel-assigned free port and wait for it to
+# report its listen address. Port 0 avoids picking a busy port, but a
+# parallel test run can still race the daemon off its socket (or kill
+# it outright), so retry the whole launch a few times before giving up.
 port=""
-for _ in $(seq 1 100); do
-  port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$log")"
+for attempt in 1 2 3; do
+  : >"$log"
+  "$bin" -addr 127.0.0.1:0 -scenario fig5 -dur 10s -pace 0 >"$log" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$log")"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      break # daemon died before binding; retry
+    fi
+    sleep 0.1
+  done
   [ -n "$port" ] && break
-  sleep 0.1
+  echo "gqd smoke: attempt $attempt: daemon never reported a listen address, retrying" >&2
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  sleep 0.5
 done
 if [ -z "$port" ]; then
-  echo "gqd smoke: daemon never reported a listen address" >&2
+  echo "gqd smoke: daemon never reported a listen address after 3 attempts" >&2
   cat "$log" >&2
   exit 1
 fi
