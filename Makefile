@@ -46,11 +46,11 @@ bench:
 # Micro + macro benchmark trajectory for this PR, committed as JSON so
 # future PRs can diff against it. Override BENCH_OUT for the next PR's
 # file (bench-guard always picks the newest BENCH_PR<n>.json).
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
 bench-json:
 	{ $(GO) test -bench 'BenchmarkKernel|BenchmarkLinkForward|BenchmarkTCPTransfer' \
 		-benchmem -run xxx ./internal/sim/ ./internal/netsim/ ./internal/tcpsim/ ; \
-	  $(GO) test -bench BenchmarkFigure5 -benchmem -benchtime=1x -run xxx -timeout 1800s . ; } \
+	  $(GO) test -bench 'BenchmarkFigure5|BenchmarkAdmissionStorm' -benchmem -benchtime=1x -run xxx -timeout 1800s . ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	cat $(BENCH_OUT)
 
@@ -83,6 +83,7 @@ figures:
 	$(GO) run ./cmd/garnet -exp figF -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figG -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figH -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp figI -svgdir docs/figures >/dev/null
 
 examples:
 	$(GO) run ./examples/quickstart

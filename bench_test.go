@@ -183,3 +183,16 @@ func BenchmarkLatencyClass(b *testing.B) {
 		b.ReportMetric(float64(r.LowLatency.Median)/float64(time.Millisecond), "llMedianMs")
 	}
 }
+
+// BenchmarkAdmissionStorm regenerates Figure I's harshest cell pair: a
+// reservation storm at ten times broker capacity, with and without
+// overload controls, reporting admitted goodput for both.
+func BenchmarkAdmissionStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigureI(experiments.Config{Seed: 1, TimeScale: 0.25, Parallel: 8})
+		last := len(r.Mults) - 1
+		b.ReportMetric(r.Controls[last].GoodputRPS, "ctlGoodput/s")
+		b.ReportMetric(r.NoCtrl[last].GoodputRPS, "rawGoodput/s")
+		b.ReportMetric(float64(r.Controls[last].Sheds), "sheds")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|figH|table1|isvsds|latency|ablations|all
+//	garnet -exp fig1|fig5|fig6|fig7|fig8|fig9|figF|figG|figH|figI|table1|isvsds|latency|ablations|all
 //	       [-scale 1.0] [-seed 1] [-parallel N] [-svgdir dir]
 //	       [-cpuprofile file] [-memprofile file]
 //	garnet -topology
@@ -29,7 +29,7 @@ import (
 var svgDir string
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, figG, figH, table1, isvsds, latency, ablations, all")
+	exp := flag.String("exp", "", "experiment id: fig1, fig5, fig6, fig7, fig8, fig9, figF, figG, figH, figI, table1, isvsds, latency, ablations, all")
 	scale := flag.Float64("scale", 1.0, "time scale (1.0 = paper-length runs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
@@ -138,6 +138,8 @@ func main() {
 			runFigG(cfg)
 		case "figH":
 			runFigH(cfg)
+		case "figI":
+			runFigI(cfg)
 		case "table1":
 			fmt.Print(experiments.Table1Render(experiments.RunTable1(cfg)))
 		case "isvsds":
@@ -164,7 +166,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "figG", "figH", "table1", "isvsds", "latency", "ablations"} {
+		for _, id := range []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "figF", "figG", "figH", "figI", "table1", "isvsds", "latency", "ablations"} {
 			fmt.Printf("=== %s ===\n", id)
 			run(id)
 			fmt.Println()
@@ -333,6 +335,38 @@ func runFigH(cfg experiments.Config) {
 		Title:  "Figure H: mean time-to-recover vs rank MTBF",
 		XLabel: "rank MTBF (s)", YLabel: "time to recover (s)",
 		Series: []trace.Series{ttr(r.Ckpt, "checkpointed"), ttr(r.NoCkpt, "no checkpoints")},
+	})
+}
+
+func runFigI(cfg experiments.Config) {
+	r := experiments.RunFigureI(cfg)
+	fmt.Println("Figure I: admission-storm goodput and p99 latency vs offered load, overload controls on vs off")
+	fmt.Print(experiments.FigureITable(r).String())
+	goodput := func(pts []experiments.FigureIPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Mult)
+			ys = append(ys, p.GoodputRPS)
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	p99 := func(pts []experiments.FigureIPoint, name string) trace.Series {
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Mult)
+			ys = append(ys, float64(p.P99.Milliseconds()))
+		}
+		return trace.XYSeries(name, xs, ys)
+	}
+	writeSVG("figI-goodput", trace.Plot{
+		Title:  "Figure I: admitted goodput vs offered load",
+		XLabel: "offered load (x broker capacity)", YLabel: "admitted goodput (req/s)",
+		Series: []trace.Series{goodput(r.Controls, "overload controls"), goodput(r.NoCtrl, "no controls")},
+	})
+	writeSVG("figI-p99", trace.Plot{
+		Title:  "Figure I: p99 admission latency vs offered load",
+		XLabel: "offered load (x broker capacity)", YLabel: "p99 admission latency (ms)",
+		Series: []trace.Series{p99(r.Controls, "overload controls"), p99(r.NoCtrl, "no controls")},
 	})
 }
 

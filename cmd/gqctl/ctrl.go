@@ -13,6 +13,7 @@ import (
 	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/trace"
+	"mpichgq/internal/trafficgen"
 	"mpichgq/internal/units"
 )
 
@@ -20,12 +21,15 @@ import (
 // workload over a lossy control plane (including one RM crash/restart)
 // and dump the control-plane health view an operator would consult —
 // per-RM breaker state, RPC retry/timeout counters, outstanding
-// prepare leases, and journal positions.
+// prepare leases, journal positions, and the overload-control surface
+// (admission queue depth, brownout level, shed counters by reason)
+// under a tenant reservation storm.
 func ctrlCmd(args []string) {
 	fs := flag.NewFlagSet("gqctl ctrl", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
 	until := fs.Duration("until", 20*time.Second, "virtual time to run the workload for")
 	loss := fs.Float64("loss", 0.25, "control-channel loss probability during the first half of the run")
+	stormRate := fs.Float64("storm", 650, "tenant reservation-storm arrival rate against dom1 (req/s; 0 disables)")
 	must(fs.Parse(args))
 
 	// Two administrative domains around a border link:
@@ -54,10 +58,49 @@ func ctrlCmd(args []string) {
 	g1.Register(rm1)
 	g2.Register(rm2)
 
-	plane := ctrlplane.NewPlane(k, ctrlplane.Options{})
+	plane := ctrlplane.NewPlane(k, ctrlplane.Options{
+		// Finite broker capacity with the overload-control ladder, so
+		// the storm below exercises queueing, shedding, and brownout.
+		Admission: ctrlplane.Admission{
+			ServiceTime:  2 * time.Millisecond,
+			QueueLimit:   32,
+			CoDelTarget:  40 * time.Millisecond,
+			DropExpired:  true,
+			BrownoutHi:   24,
+			BrownoutLo:   6,
+			BrownoutHold: 2 * time.Second,
+		},
+	})
 	plane.AddDomain("dom1", g1, rm1)
 	plane.AddDomain("dom2", g2, rm2)
 	co := plane.Coordinator()
+
+	// Tenant storm against dom1: adaptive AIMD clients plus open-loop
+	// Poisson arrivals, a best-effort-heavy class mix, short windows.
+	var storm *trafficgen.ReservationStorm
+	if *stormRate > 0 {
+		storm = &trafficgen.ReservationStorm{
+			Conns:    []*ctrlplane.Conn{plane.AddTenantConn("dom1", "storm")},
+			Rate:     *stormRate,
+			Clients:  2,
+			Adaptive: true,
+			Stop:     *until,
+			Spec: func(i int) gara.Spec {
+				cls := gara.ClassBestEffort
+				if i%3 == 0 {
+					cls = gara.ClassNormal
+				}
+				return gara.Spec{
+					Type:      gara.ResourceNetwork,
+					Class:     cls,
+					Flow:      diffserv.MatchHostPair(hostA.Addr(), c1.Addr(), netsim.ProtoUDP),
+					Bandwidth: units.Mbps,
+					Duration:  2 * time.Second,
+				}
+			},
+		}
+		storm.Run(k)
+	}
 
 	// Chaos: lossy channels for the first half of the run, plus one RM
 	// crash/restart a quarter of the way in.
@@ -77,7 +120,10 @@ func ctrlCmd(args []string) {
 	k.Spawn("workload", func(ctx *sim.Ctx) {
 		for i := 0; ctx.Now() < *until-2*time.Second; i++ {
 			spec := gara.Spec{
-				Type:      gara.ResourceNetwork,
+				Type: gara.ResourceNetwork,
+				// Premium, so class protection carries the co-reservation
+				// workload through the storm-driven brownout.
+				Class:     gara.ClassPremium,
 				Flow:      diffserv.MatchHostPair(hostA.Addr(), hostB.Addr(), netsim.ProtoUDP),
 				Bandwidth: 5 * units.Mbps,
 				Start:     ctx.Now(),
@@ -130,6 +176,39 @@ func ctrlCmd(args []string) {
 			fmt.Sprint(rm.Journal.LastSeq()))
 	}
 	fmt.Print(t.String())
+
+	// The overload-control surface: queue state and why requests were
+	// turned away, per domain.
+	shedReasons := []string{"full", "codel", "brownout", "expired", "crash", "evict"}
+	ot := trace.Table{Headers: append([]string{
+		"domain", "queue-depth", "brownout", "served",
+	}, shedReasons...)}
+	for _, name := range plane.Names() {
+		srv := plane.Conn(name).Server()
+		row := []string{
+			name,
+			fmt.Sprint(srv.QueueDepth()),
+			fmt.Sprint(srv.BrownoutLevel()),
+			fmt.Sprint(cv("admission_served_total", name)),
+		}
+		for _, reason := range shedReasons {
+			v, _ := reg.CounterValue("admission_shed_total", "rm", name, "reason", reason)
+			row = append(row, fmt.Sprint(v))
+		}
+		ot.Add(row...)
+	}
+	fmt.Println()
+	fmt.Print(ot.String())
+	if storm != nil {
+		st := storm.Stats()
+		fmt.Printf("\nstorm clients (dom1, %g req/s offered): %d offered, %d admitted, "+
+			"%d overloaded, %d deadline-expired, %d refused\n",
+			*stormRate, st.Offered, st.OK, st.Overloads, st.Deadlines, st.Refused)
+		fmt.Printf("admitted by class: premium %d/%d, normal %d/%d, best-effort %d/%d\n",
+			st.OKByClass[gara.ClassPremium], st.OfferedByClass[gara.ClassPremium],
+			st.OKByClass[gara.ClassNormal], st.OfferedByClass[gara.ClassNormal],
+			st.OKByClass[gara.ClassBestEffort], st.OfferedByClass[gara.ClassBestEffort])
+	}
 
 	for _, name := range plane.Names() {
 		leases := rms[name].Leases()

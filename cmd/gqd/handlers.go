@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,38 +27,63 @@ type daemon struct {
 
 	mu sync.Mutex
 	k  *sim.Kernel
+	// extras, when set by the scenario builder, adds scenario-specific
+	// health fields (admission queue depths, brownout levels) to the
+	// /healthz body. Called under mu.
+	extras func(map[string]any)
 
-	done    atomic.Bool
-	failure atomic.Value // error string from a failed RunUntil
+	done     atomic.Bool
+	panicked atomic.Bool
+	failure  atomic.Value // error string from a failed RunUntil or a panic
 }
 
 // step advances the kernel to dur in fixed virtual slices, sleeping
 // pace of real time between slices so operators can watch the state
-// evolve. It is the only writer of kernel state.
+// evolve. It is the only writer of kernel state. A scenario that halts
+// (RunUntil error) or panics mid-run leaves the daemon serving its
+// last coherent state, with /healthz reporting the failure as 503.
 func (d *daemon) step(step, pace time.Duration) {
-	for {
+	defer d.done.Store(true)
+	// One virtual slice per call; the deferred recover keeps a panicking
+	// scenario from killing the whole daemon — the mutex is released in
+	// order, the failure is recorded, and the daemon serves its last
+	// coherent state with /healthz reporting 503.
+	advance := func() (finished bool) {
 		d.mu.Lock()
+		defer d.mu.Unlock()
+		defer func() {
+			if r := recover(); r != nil {
+				d.panicked.Store(true)
+				d.failure.Store(fmt.Sprint(r))
+				finished = true
+			}
+		}()
 		now := d.k.Now()
 		if now >= d.dur {
-			d.mu.Unlock()
-			break
+			return true
 		}
 		next := now + step
 		if next > d.dur {
 			next = d.dur
 		}
-		err := d.k.RunUntil(next)
-		d.mu.Unlock()
-		if err != nil {
+		if err := d.k.RunUntil(next); err != nil {
+			// The kernel converts process panics into RunUntil errors;
+			// classify them so /healthz distinguishes a crashed scenario
+			// from one that halted on an ordinary error.
+			if strings.Contains(err.Error(), "panicked") {
+				d.panicked.Store(true)
+			}
 			d.failure.Store(err.Error())
-			break
+			return true
 		}
+		return false
+	}
+	for !advance() {
 		if pace > 0 {
 			//lint:ignore determinism pacing is wall-clock by design: it throttles how fast the daemon replays virtual time, and never feeds back into the simulation
 			time.Sleep(pace)
 		}
 	}
-	d.done.Store(true)
 }
 
 // mux wires the endpoint set (split out so tests can serve it).
@@ -70,25 +97,33 @@ func (d *daemon) mux() *http.ServeMux {
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	d.mu.Lock()
-	now := d.k.Now()
-	d.mu.Unlock()
 	tr := d.k.Tracer()
 	resp := map[string]any{
 		"status":         "ok",
 		"scenario":       d.scenario,
-		"virtual_now_ns": now.Nanoseconds(),
 		"virtual_dur_ns": d.dur.Nanoseconds(),
 		"done":           d.done.Load(),
 		"spans":          tr.Len(),
 		"spans_active":   tr.Active(),
 		"spans_dropped":  tr.Dropped(),
 	}
+	d.mu.Lock()
+	resp["virtual_now_ns"] = d.k.Now().Nanoseconds()
+	if d.extras != nil {
+		d.extras(resp)
+	}
+	d.mu.Unlock()
+	// A scenario that stopped advancing before its horizon is not a
+	// healthy daemon: load balancers and the smoke job read 503 here.
 	code := http.StatusOK
 	if err := d.failure.Load(); err != nil {
-		resp["status"] = "failed"
+		if d.panicked.Load() {
+			resp["status"] = "panicked"
+		} else {
+			resp["status"] = "halted"
+		}
 		resp["error"] = err
-		code = http.StatusInternalServerError
+		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

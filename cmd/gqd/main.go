@@ -43,12 +43,12 @@ func main() {
 	pace := flag.Duration("pace", 10*time.Millisecond, "real time to sleep between slices (0 = free-run)")
 	flag.Parse()
 
-	k, err := buildScenario(*scenario, *seed, *dur)
+	k, extras, err := buildScenario(*scenario, *seed, *dur)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	d := &daemon{scenario: *scenario, dur: *dur, k: k}
+	d := &daemon{scenario: *scenario, dur: *dur, k: k, extras: extras}
 
 	// The stepper drives the single-threaded kernel; handlers interleave
 	// with it through d.mu, never concurrently with it.

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mpichgq/internal/sim"
 )
 
 // get fetches a path from the test server and returns status + body.
@@ -32,11 +34,11 @@ func get(t *testing.T, base, path string) (int, string) {
 // kernel, and every response is well-formed.
 func TestDaemonServesConcurrentQueries(t *testing.T) {
 	const dur = 8 * time.Second // virtual
-	k, err := buildScenario("ctrl", 1, dur)
+	k, extras, err := buildScenario("ctrl", 1, dur)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := &daemon{scenario: "ctrl", dur: dur, k: k}
+	d := &daemon{scenario: "ctrl", dur: dur, k: k, extras: extras}
 	srv := httptest.NewServer(d.mux())
 	defer srv.Close()
 
@@ -117,7 +119,7 @@ func TestDaemonServesConcurrentQueries(t *testing.T) {
 // TestDaemonBadQueries pins the 400 paths so operator typos fail with
 // a usable message instead of an empty match.
 func TestDaemonBadQueries(t *testing.T) {
-	k, err := buildScenario("ctrl", 1, time.Second)
+	k, _, err := buildScenario("ctrl", 1, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,85 @@ func TestDaemonBadQueries(t *testing.T) {
 
 // TestBuildScenarioUnknown covers the scenario dispatch error.
 func TestBuildScenarioUnknown(t *testing.T) {
-	if _, err := buildScenario("fig99", 1, time.Second); err == nil {
+	if _, _, err := buildScenario("fig99", 1, time.Second); err == nil {
 		t.Fatal("buildScenario accepted an unknown scenario")
+	}
+}
+
+// TestHealthzReportsPanickedScenario pins the failure contract: when a
+// scenario process panics mid-run the daemon survives, keeps serving
+// its last coherent state, and /healthz turns 503 with a JSON body
+// naming the failure.
+func TestHealthzReportsPanickedScenario(t *testing.T) {
+	k := sim.New(1)
+	k.Spawn("bomb", func(ctx *sim.Ctx) {
+		ctx.Sleep(time.Second)
+		panic("scenario wedged: simulated invariant violation")
+	})
+	d := &daemon{scenario: "bomb", dur: 10 * time.Second, k: k}
+	srv := httptest.NewServer(d.mux())
+	defer srv.Close()
+
+	d.step(500*time.Millisecond, 0)
+	if !d.done.Load() {
+		t.Fatal("step did not mark the daemon done after the panic")
+	}
+	code, body := get(t, srv.URL, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after panic: status %d, want 503: %s", code, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Done   bool   `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz after panic is not JSON: %v: %s", err, body)
+	}
+	if h.Status != "panicked" || !h.Done {
+		t.Fatalf("/healthz after panic: %+v", h)
+	}
+	if !strings.Contains(h.Error, "invariant violation") {
+		t.Fatalf("/healthz error %q does not carry the panic message", h.Error)
+	}
+	// The rest of the observability surface must still answer.
+	if code, _ := get(t, srv.URL, "/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics after panic: status %d", code)
+	}
+}
+
+// TestHealthzCarriesAdmissionState pins the ctrl scenario's healthz
+// extras: queue depth and brownout level per domain appear in the body.
+func TestHealthzCarriesAdmissionState(t *testing.T) {
+	const dur = 3 * time.Second
+	k, extras, err := buildScenario("ctrl", 1, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extras == nil {
+		t.Fatal("ctrl scenario returned no healthz extras")
+	}
+	d := &daemon{scenario: "ctrl", dur: dur, k: k, extras: extras}
+	srv := httptest.NewServer(d.mux())
+	defer srv.Close()
+	d.step(time.Second, 0)
+	code, body := get(t, srv.URL, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d: %s", code, body)
+	}
+	var h struct {
+		Admission map[string]struct {
+			QueueDepth    *int `json:"queue_depth"`
+			BrownoutLevel *int `json:"brownout_level"`
+		} `json:"admission"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz: %v: %s", err, body)
+	}
+	for _, dom := range []string{"dom1", "dom2"} {
+		st, ok := h.Admission[dom]
+		if !ok || st.QueueDepth == nil || st.BrownoutLevel == nil {
+			t.Fatalf("/healthz admission state missing for %s: %s", dom, body)
+		}
 	}
 }

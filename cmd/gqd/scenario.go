@@ -24,15 +24,18 @@ import (
 const traceCapacity = 1 << 16
 
 // buildScenario constructs the requested live scenario on a fresh
-// kernel, tracing enabled, ready to be stepped to dur.
-func buildScenario(name string, seed int64, dur time.Duration) (*sim.Kernel, error) {
+// kernel, tracing enabled, ready to be stepped to dur. The returned
+// extras hook (may be nil) adds scenario-specific health fields to
+// /healthz; it is called under the daemon's kernel mutex.
+func buildScenario(name string, seed int64, dur time.Duration) (*sim.Kernel, func(map[string]any), error) {
 	switch name {
 	case "fig5":
-		return fig5Scenario(seed, dur), nil
+		return fig5Scenario(seed, dur), nil, nil
 	case "ctrl":
-		return ctrlScenario(seed, dur), nil
+		k, extras := ctrlScenario(seed, dur)
+		return k, extras, nil
 	default:
-		return nil, fmt.Errorf("gqd: unknown scenario %q (want fig5 or ctrl)", name)
+		return nil, nil, fmt.Errorf("gqd: unknown scenario %q (want fig5 or ctrl)", name)
 	}
 }
 
@@ -91,10 +94,12 @@ func fig5Scenario(seed int64, dur time.Duration) *sim.Kernel {
 
 // ctrlScenario is the figure G control plane, live: two administrative
 // domains behind a lossy control channel, an RM crash/restart, and a
-// driver issuing two-phase co-reservations for the whole run. It keeps
-// the co.*, rpc.*, server.*, gara.*, and fault.* span streams flowing
-// for /traces queries.
-func ctrlScenario(seed int64, dur time.Duration) *sim.Kernel {
+// driver issuing two-phase co-reservations for the whole run, plus a
+// tenant reservation storm pressing dom1's admission queue so queue
+// depth, sheds, and brownout transitions stay visible in /metrics and
+// /healthz. It keeps the co.*, rpc.*, server.*, gara.*, admission.*,
+// and fault.* span streams flowing for /traces queries.
+func ctrlScenario(seed int64, dur time.Duration) (*sim.Kernel, func(map[string]any)) {
 	k := sim.New(seed)
 	k.Tracer().SetCapacity(traceCapacity)
 	k.Tracer().SetEnabled(true)
@@ -123,6 +128,18 @@ func ctrlScenario(seed int64, dur time.Duration) *sim.Kernel {
 		Timeout:  50 * time.Millisecond,
 		Deadline: 500 * time.Millisecond,
 		LeaseTTL: 3 * time.Second,
+		// Finite broker capacity (500 req/s per domain) with the full
+		// overload-control ladder, so the storm below actually queues,
+		// sheds, and browns out instead of executing instantaneously.
+		Admission: ctrlplane.Admission{
+			ServiceTime:  2 * time.Millisecond,
+			QueueLimit:   32,
+			CoDelTarget:  40 * time.Millisecond,
+			DropExpired:  true,
+			BrownoutHi:   24,
+			BrownoutLo:   6,
+			BrownoutHold: 2 * time.Second,
+		},
 	})
 	plane.AddDomain("dom1", g1, rm1)
 	plane.AddDomain("dom2", g2, rm2)
@@ -142,6 +159,7 @@ func ctrlScenario(seed int64, dur time.Duration) *sim.Kernel {
 		for ctx.Now() < dur {
 			spec := gara.Spec{
 				Type:      gara.ResourceNetwork,
+				Class:     gara.ClassPremium,
 				Flow:      diffserv.MatchHostPair(hostA.Addr(), hostB.Addr(), netsim.ProtoUDP),
 				Bandwidth: 10 * units.Mbps,
 				Start:     ctx.Now(),
@@ -155,5 +173,39 @@ func ctrlScenario(seed int64, dur time.Duration) *sim.Kernel {
 			ctx.Sleep(1500 * time.Millisecond)
 		}
 	})
-	return k
+
+	// A tenant storm bursting past dom1's broker capacity: enough
+	// pressure that admission queueing, shedding, and brownout all show
+	// up live, while the premium co-reservation driver above keeps
+	// succeeding through class protection.
+	storm := &trafficgen.ReservationStorm{
+		Conns:    []*ctrlplane.Conn{plane.AddTenantConn("dom1", "storm")},
+		Rate:     650,
+		Clients:  2,
+		Adaptive: true,
+		Stop:     dur,
+		Spec: func(i int) gara.Spec {
+			cls := gara.ClassBestEffort
+			if i%3 == 0 {
+				cls = gara.ClassNormal
+			}
+			return gara.Spec{
+				Type:      gara.ResourceNetwork,
+				Class:     cls,
+				Flow:      diffserv.MatchHostPair(hostA.Addr(), c1.Addr(), netsim.ProtoUDP),
+				Bandwidth: units.Mbps,
+				Duration:  2 * time.Second,
+			}
+		},
+	}
+	storm.Run(k)
+
+	srv1, srv2 := plane.Conn("dom1").Server(), plane.Conn("dom2").Server()
+	extras := func(resp map[string]any) {
+		resp["admission"] = map[string]any{
+			"dom1": map[string]int{"queue_depth": srv1.QueueDepth(), "brownout_level": srv1.BrownoutLevel()},
+			"dom2": map[string]int{"queue_depth": srv2.QueueDepth(), "brownout_level": srv2.BrownoutLevel()},
+		}
+	}
+	return k, extras
 }

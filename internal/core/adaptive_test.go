@@ -1,6 +1,7 @@
-package gq
+package gq_test
 
 import (
+	gq "mpichgq/internal/core"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func adaptiveRun(t *testing.T, adapt bool) (units.ByteSize, units.BitRate) {
 		t.Fatal(err)
 	}
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var lateBytes units.ByteSize
 	var finalRes units.BitRate
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
@@ -36,7 +37,7 @@ func adaptiveRun(t *testing.T, adapt bool) (units.ByteSize, units.BitRate) {
 			return
 		}
 		// Undersized: 40% of the target.
-		attr := &QosAttribute{Class: Premium, Bandwidth: 4 * units.Mbps}
+		attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 4 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
 			t.Error(err)
 			return
@@ -104,7 +105,7 @@ func TestAdapterDecaysOverProvisioned(t *testing.T) {
 	const dur = 20 * time.Second
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var finalRes units.BitRate
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		pc, err := r.PairComm(ctx, 1-r.ID())
@@ -113,7 +114,7 @@ func TestAdapterDecaysOverProvisioned(t *testing.T) {
 			return
 		}
 		// Grossly over-provisioned: 20 Mb/s for a 2 Mb/s stream.
-		attr := &QosAttribute{Class: Premium, Bandwidth: 20 * units.Mbps}
+		attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 20 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
 			t.Error(err)
 			return

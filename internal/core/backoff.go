@@ -22,8 +22,9 @@ type Backoff struct {
 	// by a factor in [1-Jitter, 1+Jitter] (default 0.2, 0 disables).
 	Jitter float64
 
-	rng *sim.RNG
-	n   int
+	rng  *sim.RNG
+	n    int
+	hint time.Duration
 }
 
 // NewBackoff returns a Backoff with the default growth factor (2) and
@@ -33,7 +34,9 @@ func NewBackoff(rng *sim.RNG, base, max time.Duration) *Backoff {
 }
 
 // Next returns the interval to wait before the next attempt and
-// advances the schedule.
+// advances the schedule. A pending Hint floors the result: the server
+// told us when it will have capacity, so jitter must not sneak the
+// retry in earlier than that.
 func (b *Backoff) Next() time.Duration {
 	d := float64(b.Base)
 	for i := 0; i < b.n; i++ {
@@ -49,11 +52,28 @@ func (b *Backoff) Next() time.Duration {
 	if b.Jitter > 0 && b.rng != nil {
 		d *= b.rng.Jitter(b.Jitter)
 	}
-	return time.Duration(d)
+	out := time.Duration(d)
+	if h := b.hint; h > 0 {
+		b.hint = 0
+		if out < h {
+			out = h
+		}
+	}
+	return out
+}
+
+// Hint floors the next interval at d — used for a server's retry-after
+// from an overload rejection (ErrOverloaded). The hint is one-shot: it
+// applies to the next Next() only, overriding the computed schedule
+// (and its jitter) when that would retry sooner than the server asked.
+func (b *Backoff) Hint(d time.Duration) {
+	if d > b.hint {
+		b.hint = d
+	}
 }
 
 // Reset restarts the schedule from Base, called after a success.
-func (b *Backoff) Reset() { b.n = 0 }
+func (b *Backoff) Reset() { b.n = 0; b.hint = 0 }
 
 // Attempts returns how many intervals have been handed out since the
 // last Reset.

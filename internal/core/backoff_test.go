@@ -64,6 +64,51 @@ func TestBackoffResetsAfterSuccess(t *testing.T) {
 	}
 }
 
+func TestBackoffHintFloorsJitteredInterval(t *testing.T) {
+	const base = 100 * time.Millisecond
+	const max = 10 * time.Second
+	b := NewBackoff(sim.NewRNG(11), base, max)
+	// A hint far above the early schedule must floor the next interval
+	// exactly: jitter may never pull the retry under the server's
+	// retry-after, no matter what the RNG draws.
+	for i := 0; i < 50; i++ {
+		hint := 5 * time.Second
+		b.Reset()
+		b.Hint(hint)
+		if d := b.Next(); d < hint {
+			t.Fatalf("draw %d: interval %v below retry-after hint %v", i, d, hint)
+		}
+	}
+	// A hint below the computed band leaves the schedule alone — the
+	// jittered exponential already waits longer than the server asked.
+	b.Reset()
+	b.Hint(time.Millisecond)
+	d := float64(b.Next())
+	if d < (1-b.Jitter)*float64(base) || d > (1+b.Jitter)*float64(base) {
+		t.Fatalf("small hint perturbed the schedule: %v outside jitter band around %v",
+			time.Duration(d), base)
+	}
+	// The hint is one-shot: the interval after a floored one returns to
+	// the (jittered) exponential schedule.
+	b.Reset()
+	b.Hint(5 * time.Second)
+	b.Next()
+	d = float64(b.Next())
+	ideal := float64(base) * b.Factor
+	if d < (1-b.Jitter)*ideal || d > (1+b.Jitter)*ideal {
+		t.Fatalf("hint leaked past one interval: %v outside band around %v",
+			time.Duration(d), time.Duration(ideal))
+	}
+	// Reset clears a pending hint.
+	b.Hint(5 * time.Second)
+	b.Reset()
+	d = float64(b.Next())
+	if d < (1-b.Jitter)*float64(base) || d > (1+b.Jitter)*float64(base) {
+		t.Fatalf("Reset kept the hint: %v outside jitter band around %v",
+			time.Duration(d), base)
+	}
+}
+
 func TestBackoffWithoutJitterIsExact(t *testing.T) {
 	b := NewBackoff(nil, 100*time.Millisecond, time.Second)
 	b.Jitter = 0

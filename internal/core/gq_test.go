@@ -1,6 +1,7 @@
-package gq
+package gq_test
 
 import (
+	gq "mpichgq/internal/core"
 	"testing"
 	"time"
 
@@ -19,11 +20,11 @@ import (
 // sendRate — like the paper's applications, which are app-limited
 // below their reservation; a greedy TCP flow over a policer always
 // oscillates (Figure 1). It returns the bytes received.
-func streamBytes(t *testing.T, attr *QosAttribute, blast units.BitRate, dur time.Duration) units.ByteSize {
+func streamBytes(t *testing.T, attr *gq.QosAttribute, blast units.BitRate, dur time.Duration) units.ByteSize {
 	t.Helper()
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	if blast > 0 {
 		bl := &trafficgen.UDPBlaster{Rate: blast, Jitter: 0.1}
 		if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
@@ -44,7 +45,7 @@ func streamBytes(t *testing.T, attr *QosAttribute, blast units.BitRate, dur time
 				t.Errorf("AttrPut: %v", err)
 				return
 			}
-			if got, ok := pc.AttrGet(agent.Keyval()); !ok || !got.(*QosAttribute).Granted {
+			if got, ok := pc.AttrGet(agent.Keyval()); !ok || !got.(*gq.QosAttribute).Granted {
 				t.Error("attribute should report granted")
 				return
 			}
@@ -79,7 +80,7 @@ func streamBytes(t *testing.T, attr *QosAttribute, blast units.BitRate, dur time
 
 func TestPremiumProtectsThroughputUnderContention(t *testing.T) {
 	const dur = 5 * time.Second
-	attr := &QosAttribute{Class: Premium, Bandwidth: 20 * units.Mbps, MaxMessageSize: 20 * units.KB}
+	attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 20 * units.Mbps, MaxMessageSize: 20 * units.KB}
 	unprotected := streamBytes(t, nil, 150*units.Mbps, dur)
 	protected := streamBytes(t, attr, 150*units.Mbps, dur)
 	protRate := units.RateOf(protected, dur)
@@ -104,7 +105,7 @@ func TestNoContentionNeedsNoReservation(t *testing.T) {
 func TestBestEffortPutReleasesReservation(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		if r.ID() != 0 {
 			r.PairComm(ctx, 0)
@@ -115,7 +116,7 @@ func TestBestEffortPutReleasesReservation(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		attr := &QosAttribute{Class: Premium, Bandwidth: 10 * units.Mbps}
+		attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 10 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
 			t.Error(err)
 			return
@@ -124,7 +125,7 @@ func TestBestEffortPutReleasesReservation(t *testing.T) {
 			t.Error("binding missing after premium put")
 			return
 		}
-		be := &QosAttribute{Class: BestEffort}
+		be := &gq.QosAttribute{Class: gq.BestEffort}
 		if err := r.AttrPut(pc, agent.Keyval(), be); err != nil {
 			t.Error(err)
 			return
@@ -144,7 +145,7 @@ func TestBestEffortPutReleasesReservation(t *testing.T) {
 func TestRePutModifiesReservation(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var rates []units.BitRate
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		if r.ID() != 0 {
@@ -152,14 +153,14 @@ func TestRePutModifiesReservation(t *testing.T) {
 			return
 		}
 		pc, _ := r.PairComm(ctx, 1)
-		a1 := &QosAttribute{Class: Premium, Bandwidth: 10 * units.Mbps}
+		a1 := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 10 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), a1); err != nil {
 			t.Error(err)
 			return
 		}
 		b, _ := agent.Binding(r, pc)
 		rates = append(rates, b.Reservations[0].Spec().Bandwidth)
-		a2 := &QosAttribute{Class: Premium, Bandwidth: 30 * units.Mbps}
+		a2 := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 30 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), a2); err != nil {
 			t.Error(err)
 			return
@@ -181,9 +182,9 @@ func TestRePutModifiesReservation(t *testing.T) {
 func TestOverheadFactorRules(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	// Without MaxMessageSize: the measured 1.06.
-	a := &QosAttribute{Class: Premium, Bandwidth: 100 * units.Mbps}
+	a := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 100 * units.Mbps}
 	if got := agent.ReservedRate(a); got != 106*units.Mbps {
 		t.Fatalf("default overhead rate = %v, want 106Mb/s", got)
 	}
@@ -203,28 +204,28 @@ func TestOverheadFactorRules(t *testing.T) {
 func TestLowLatencyClassFloor(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
-	a := &QosAttribute{Class: LowLatency, Bandwidth: 10 * units.Kbps}
-	if got := agent.ReservedRate(a); got < LowLatencyBandwidth {
-		t.Fatalf("low-latency rate = %v, want >= %v floor", got, LowLatencyBandwidth)
+	agent := gq.NewAgent(tb.Gara, job)
+	a := &gq.QosAttribute{Class: gq.LowLatency, Bandwidth: 10 * units.Kbps}
+	if got := agent.ReservedRate(a); got < gq.LowLatencyBandwidth {
+		t.Fatalf("low-latency rate = %v, want >= %v floor", got, gq.LowLatencyBandwidth)
 	}
 }
 
 func TestDynamicBucketSizing(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	agent.DynamicBucket = true
-	attr := &QosAttribute{Class: Premium, Bandwidth: 400 * units.Kbps, MaxMessageSize: 50 * units.KB}
+	attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 400 * units.Kbps, MaxMessageSize: 50 * units.KB}
 	reserved := agent.ReservedRate(attr)
-	depth := agent.bucketDepth(attr, reserved)
+	depth := gq.AgentBucketDepth(agent, attr, reserved)
 	// Static rule: ~424Kbps/40 bits => ~1.3KB -> floored to 1500; the
 	// 50 KB message burst must win.
 	if depth < 50*units.KB {
 		t.Fatalf("dynamic depth = %v, want >= one message burst", depth)
 	}
 	agent.DynamicBucket = false
-	if d := agent.bucketDepth(attr, reserved); d >= 50*units.KB {
+	if d := gq.AgentBucketDepth(agent, attr, reserved); d >= 50*units.KB {
 		t.Fatalf("static depth = %v, should be small", d)
 	}
 }
@@ -232,7 +233,7 @@ func TestDynamicBucketSizing(t *testing.T) {
 func TestAgentRejectsWrongAttributeType(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var putErr error
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		if r.ID() != 0 {
@@ -253,8 +254,8 @@ func TestAgentRejectsWrongAttributeType(t *testing.T) {
 func TestReservationFailureReportedInAttr(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
-	var attr *QosAttribute
+	agent := gq.NewAgent(tb.Gara, job)
+	var attr *gq.QosAttribute
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		if r.ID() != 0 {
 			r.PairComm(ctx, 0)
@@ -262,7 +263,7 @@ func TestReservationFailureReportedInAttr(t *testing.T) {
 		}
 		pc, _ := r.PairComm(ctx, 1)
 		// Far beyond EF capacity (0.7*155 = 108.5 Mb/s).
-		attr = &QosAttribute{Class: Premium, Bandwidth: 500 * units.Mbps}
+		attr = &gq.QosAttribute{Class: gq.Premium, Bandwidth: 500 * units.Mbps}
 		r.AttrPut(pc, agent.Keyval(), attr)
 	})
 	if err := tb.K.RunUntil(5 * time.Second); err != nil {
@@ -276,7 +277,7 @@ func TestReservationFailureReportedInAttr(t *testing.T) {
 func TestReserveCPUThroughAgent(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var res *gara.Reservation
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		if r.ID() != 0 {
@@ -303,10 +304,10 @@ func TestReserveCPUThroughAgent(t *testing.T) {
 func TestReleaseAll(t *testing.T) {
 	tb := garnet.New(1)
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		pc, _ := r.PairComm(ctx, 1-r.ID())
-		a := &QosAttribute{Class: Premium, Bandwidth: 5 * units.Mbps}
+		a := &gq.QosAttribute{Class: gq.Premium, Bandwidth: 5 * units.Mbps}
 		if err := r.AttrPut(pc, agent.Keyval(), a); err != nil {
 			t.Error(err)
 		}
@@ -335,7 +336,7 @@ func measureRTT(t *testing.T, lowLatency bool) time.Duration {
 		t.Fatal(err)
 	}
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	const rounds = 100
 	var total time.Duration
 	done := 0
@@ -346,7 +347,7 @@ func measureRTT(t *testing.T, lowLatency bool) time.Duration {
 			return
 		}
 		if lowLatency {
-			attr := &QosAttribute{Class: LowLatency, Bandwidth: 200 * units.Kbps, MaxMessageSize: units.KB}
+			attr := &gq.QosAttribute{Class: gq.LowLatency, Bandwidth: 200 * units.Kbps, MaxMessageSize: units.KB}
 			if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
 				t.Error(err)
 				return

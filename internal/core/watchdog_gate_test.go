@@ -1,6 +1,7 @@
-package gq
+package gq_test
 
 import (
+	gq "mpichgq/internal/core"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func TestWatchdogRespectsRepairGate(t *testing.T) {
 	var gate *timedGate
 	var rec *metrics.Recorder
 	healed, w := healingRun(t, true, downAt, upAt, measureFrom, dur,
-		func(k *sim.Kernel) RepairGate {
+		func(k *sim.Kernel) gq.RepairGate {
 			rec = k.Metrics().Events()
 			rec.SetCapacity(1 << 20) // keep every event of the run
 			gate = &timedGate{k: k, openAt: upAt}
@@ -69,9 +70,9 @@ func TestWatchdogRespectsRepairGate(t *testing.T) {
 			continue
 		}
 		switch ev.Subject {
-		case phaseGated:
+		case gq.PhaseGated:
 			gated++
-		case phaseRepair, phaseUpgrade:
+		case gq.PhaseRepair, gq.PhaseUpgrade:
 			if ev.At < upAt {
 				t.Fatalf("%s at %v: repair attempt reached the RM while gated", ev.Subject, ev.At)
 			}

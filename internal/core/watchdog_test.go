@@ -1,6 +1,7 @@
-package gq
+package gq_test
 
 import (
+	gq "mpichgq/internal/core"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"mpichgq/internal/garnet"
 	"mpichgq/internal/mpi"
 	"mpichgq/internal/sim"
+	"mpichgq/internal/spans"
 	"mpichgq/internal/tcpsim"
 	"mpichgq/internal/trafficgen"
 	"mpichgq/internal/units"
@@ -20,7 +22,7 @@ import (
 // non-nil, builds a RepairGate for the watchdog from the testbed's
 // kernel (the control-plane breaker hookup).
 func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Duration,
-	mkGate func(*sim.Kernel) RepairGate) (units.ByteSize, *Watchdog) {
+	mkGate func(*sim.Kernel) gq.RepairGate) (units.ByteSize, *gq.Watchdog) {
 	t.Helper()
 	const target = 10 * units.Mbps
 	const msg = 25 * units.KB
@@ -31,9 +33,9 @@ func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Dur
 		t.Fatal(err)
 	}
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
-	agent := NewAgent(tb.Gara, job)
+	agent := gq.NewAgent(tb.Gara, job)
 	var lateBytes units.ByteSize
-	var w *Watchdog
+	var w *gq.Watchdog
 	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
 		pc, err := r.PairComm(ctx, 1-r.ID())
 		if err != nil {
@@ -42,7 +44,7 @@ func healingRun(t *testing.T, heal bool, downAt, upAt, measureFrom, dur time.Dur
 		}
 		peer := 1 - r.RankIn(pc)
 		if r.ID() == 0 {
-			attr := &QosAttribute{Class: Premium, Bandwidth: target}
+			attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: target}
 			if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
 				t.Error(err)
 				return
@@ -105,6 +107,138 @@ func TestWatchdogRepairsAfterFlap(t *testing.T) {
 	}
 	if float64(plainRate) > 0.5*float64(healedRate) {
 		t.Fatalf("healing ineffective: healed %v vs unhealed %v", healedRate, plainRate)
+	}
+}
+
+// TestWatchdogRebindRacesRepairEpisode pins the race between the
+// rank-restart observer and an in-flight repair episode. A bottleneck
+// flap degrades the premium reservation and puts the watchdog into
+// repairLoop (failing wd.attempt spans on the backoff schedule); while
+// that episode is still open, the peer rank crashes and restarts, so
+// RankRestarted sets the rebind flag mid-episode. The contract: the
+// episode resolves on its own terms first, and the rebind is processed
+// exactly once afterward — neither lost (the flag survives the
+// episode) nor doubled (one restart, one rebuild).
+func TestWatchdogRebindRacesRepairEpisode(t *testing.T) {
+	const (
+		downAt, upAt       = 2 * time.Second, 8 * time.Second
+		crashAt, restartAt = 4 * time.Second, 5 * time.Second
+		dur                = 12 * time.Second
+	)
+	const target = 10 * units.Mbps
+	const msg = 25 * units.KB
+	tb := garnet.New(1)
+	tb.K.Tracer().SetCapacity(1 << 16)
+	tb.K.Tracer().SetEnabled(true)
+	faults.NewScenario("flap").Flap("edge1-core", downAt, upAt).MustApply(tb.Net)
+	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{EagerThreshold: units.MB})
+	agent := gq.NewAgent(tb.Gara, job)
+
+	var w *gq.Watchdog
+	// The pair comm outlives rank incarnations (the figure H idiom):
+	// the restarted peer rejoins the same handle.
+	var comms [2]*mpi.Comm
+	job.Start(func(ctx *sim.Ctx, r *mpi.Rank) {
+		id := r.ID()
+		if r.Epoch() == 0 {
+			c, err := r.PairComm(ctx, 1-id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comms[id] = c
+		}
+		pc := comms[id]
+		peer := 1 - r.RankIn(pc)
+		if id == 0 {
+			attr := &gq.QosAttribute{Class: gq.Premium, Bandwidth: target}
+			if err := r.AttrPut(pc, agent.Keyval(), attr); err != nil {
+				t.Error(err)
+				return
+			}
+			wd, err := agent.NewWatchdog(r, pc, target)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// A dense backoff keeps wd.attempt spans flowing across the
+			// whole outage, so the restart provably lands between two
+			// failed attempts of the same episode.
+			wd.Backoff = gq.NewBackoff(sim.NewRNG(tb.K.RNG().Int63()),
+				250*time.Millisecond, time.Second)
+			w = wd
+			ctx.SpawnChild("watchdog", func(wctx *sim.Ctx) {
+				wd.Run(wctx, 250*time.Millisecond, dur)
+			})
+			gap := target.TimeToSend(msg)
+			for ctx.Now() < dur {
+				if err := r.Send(ctx, pc, peer, 0, msg, nil); err != nil {
+					ctx.Sleep(100 * time.Millisecond)
+					continue
+				}
+				ctx.Sleep(gap)
+			}
+			return
+		}
+		for ctx.Now() < dur && !r.Crashed() {
+			if _, err := r.Recv(ctx, pc, peer, 0); err != nil {
+				ctx.Sleep(100 * time.Millisecond)
+			}
+		}
+	})
+	tb.K.At(crashAt, sim.PrioNormal, func() { job.CrashRank(1) })
+	tb.K.At(restartAt, sim.PrioNormal, func() { job.RestartRank(1, nil) })
+	if err := tb.K.RunUntil(dur); err != nil {
+		t.Fatal(err)
+	}
+
+	// Counters: one resolved repair episode, one rebind — in that order,
+	// with the rebind neither dropped nor processed twice.
+	if got := w.Repairs() + w.Upgrades(); got != 1 {
+		t.Fatalf("resolved episodes = %d (repairs=%d upgrades=%d), want exactly 1",
+			got, w.Repairs(), w.Upgrades())
+	}
+	if w.Rebinds() != 1 {
+		t.Fatalf("rebinds = %d, want exactly 1 (flag lost or double-processed)", w.Rebinds())
+	}
+
+	// Spans carry the ordering proof. The single outage must bracket the
+	// restart (the race actually happened mid-episode) and resolve as
+	// breached; the single rebind must begin only after the outage ends.
+	tr := tb.K.Tracer()
+	outages := tr.Query(spans.Filter{Name: "wd.outage"})
+	if len(outages) != 1 {
+		t.Fatalf("wd.outage spans = %d, want 1", len(outages))
+	}
+	outage := outages[0]
+	if outage.Status != spans.StatusBreached {
+		t.Fatalf("outage status = %v, want breached (resolved episode)", outage.Status)
+	}
+	if outage.Start >= restartAt || outage.Start+outage.Dur <= restartAt {
+		t.Fatalf("restart at %v did not land inside the episode [%v, %v)",
+			restartAt, outage.Start, outage.Start+outage.Dur)
+	}
+	attempts := tr.Query(spans.Filter{Trace: outage.Trace, Name: "wd.attempt"})
+	before := 0
+	for _, a := range attempts {
+		if a.Start < restartAt {
+			before++
+		}
+	}
+	if len(attempts) == 0 || before == 0 || before == len(attempts) {
+		t.Fatalf("wd.attempt spans do not straddle the restart: %d total, %d before %v",
+			len(attempts), before, restartAt)
+	}
+	rebinds := tr.Query(spans.Filter{Name: "wd.rebind"})
+	if len(rebinds) != 1 {
+		t.Fatalf("wd.rebind spans = %d, want 1", len(rebinds))
+	}
+	if rebinds[0].Start < outage.Start+outage.Dur {
+		t.Fatalf("rebind began at %v, inside the still-open episode ending %v",
+			rebinds[0].Start, outage.Start+outage.Dur)
+	}
+	if rebinds[0].Status != spans.StatusOK {
+		t.Fatalf("rebind status = %v, want ok (rebuild must succeed post-flap)", rebinds[0].Status)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	gq "mpichgq/internal/core"
+	"mpichgq/internal/gara"
 	"mpichgq/internal/metrics"
 	"mpichgq/internal/sim"
 	"mpichgq/internal/spans"
@@ -20,7 +21,28 @@ var (
 	// ErrDeadline: no reply arrived within the call deadline across
 	// all retries.
 	ErrDeadline = errors.New("ctrlplane: call deadline exceeded")
+	// ErrOverloaded: the server's admission control shed the call and
+	// the retry budget ran out. Match with errors.Is; the concrete
+	// *OverloadedError carries the server's retry-after hint.
+	ErrOverloaded = errors.New("ctrlplane: server overloaded")
 )
+
+// OverloadedError is an admission-control rejection: the server is up
+// but shedding load, and RetryAfter is its estimate of when it will
+// have drained enough backlog to admit a retry. errors.Is(err,
+// ErrOverloaded) matches it.
+type OverloadedError struct {
+	RM         string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("ctrlplane: server overloaded (rm %s, retry after %v)",
+		e.RM, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) succeed.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Conn is the coordinator's client stub for one domain: it sends
 // requests over the lossy channel pair and implements the reliability
@@ -43,13 +65,18 @@ type Conn struct {
 	Backoff *gq.Backoff
 	// Breaker, when set, short-circuits calls while the RM is bad.
 	Breaker *Breaker
+	// Tenant names the requesting principal for the server's fair
+	// admission queue; empty means the domain name (a single shared
+	// client).
+	Tenant string
 
 	nextReq uint64
+	idHash  uint64 // lazy FNV of name/tenant, keys direct-call traces
 	waiting map[uint64]*pendingCall
 
-	mAttempts, mRetries, mTimeouts, mFailures, mRejected *metrics.Counter
-	rec                                                  *metrics.Recorder
-	tr                                                   *spans.Tracer
+	mAttempts, mRetries, mTimeouts, mFailures, mRejected, mOverloads *metrics.Counter
+	rec                                                              *metrics.Recorder
+	tr                                                               *spans.Tracer
 }
 
 type pendingCall struct {
@@ -76,6 +103,8 @@ func NewConn(k *sim.Kernel, srv *Server, toSrv, fromSrv *Chan,
 			"control RPCs abandoned at their deadline", "rm", name),
 		mRejected: reg.Counter("ctrl_rpc_breaker_rejects_total",
 			"control RPCs rejected by an open circuit breaker", "rm", name),
+		mOverloads: reg.Counter("ctrl_rpc_overloads_total",
+			"control RPC attempts shed by server admission control", "rm", name),
 		rec: reg.Events(),
 		tr:  k.Tracer(),
 	}
@@ -103,8 +132,13 @@ func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) 
 	req.reqID = c.nextReq
 	req.method = method
 	req.parent = sp.SpanID()
+	req.from = c.Tenant
+	if req.from == "" {
+		req.from = c.name
+	}
 	sp.Int("req", int64(req.reqID))
 	deadline := c.k.Now() + c.Deadline
+	req.deadline = deadline
 	pc := &pendingCall{cond: sim.NewCond(c.k)}
 	c.waiting[req.reqID] = pc
 	defer delete(c.waiting, req.reqID)
@@ -118,6 +152,36 @@ func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) 
 		}
 		if wait > 0 {
 			pc.cond.WaitTimeout(ctx, wait)
+		}
+		if pc.resp != nil && pc.resp.overloaded {
+			// Admission control shed the call: the server is alive (no
+			// breaker failure), just saturated. Honor its retry-after
+			// hint — backing off to exactly when the server expects
+			// capacity is what keeps retries from becoming the storm.
+			c.mOverloads.Inc()
+			c.rec.Emit(metrics.EvCtrlRPC, method, int64(req.reqID), int64(attempt), rpcShed)
+			if c.Breaker != nil {
+				c.Breaker.Success()
+			}
+			retryAfter := time.Duration(pc.resp.retryAfterNS)
+			pc.resp = nil
+			c.Backoff.Hint(retryAfter)
+			sleep := c.Backoff.Next()
+			if over := c.k.Now() + sleep; over > deadline {
+				sleep = deadline - c.k.Now()
+			}
+			if sleep > 0 {
+				ctx.Sleep(sleep)
+			}
+			if c.k.Now() >= deadline {
+				c.mFailures.Inc()
+				sp.Int("attempts", int64(attempt))
+				sp.Int("overloaded", 1)
+				sp.EndStatus(spans.StatusFailed)
+				return response{}, &OverloadedError{RM: c.name, RetryAfter: retryAfter}
+			}
+			c.mRetries.Inc()
+			continue
 		}
 		if pc.resp != nil {
 			if c.Breaker != nil {
@@ -160,15 +224,15 @@ func (c *Conn) call(ctx *sim.Ctx, method string, req request) (response, error) 
 }
 
 // transmit ships req to the server and wires the reply path. The
-// server handles the request when the channel delivers it; a crashed
-// server produces no reply at all.
+// server dispatches the request when the channel delivers it — inline
+// when admission control is off, through the admission queue when on
+// (the reply then comes whenever service reaches it); a crashed server
+// produces no reply at all.
 func (c *Conn) transmit(req request) {
 	c.toSrv.send(req.reqID, func() {
-		resp, alive := c.srv.handle(req)
-		if !alive {
-			return
-		}
-		c.fromSrv.send(req.reqID, func() { c.deliver(resp) })
+		c.srv.dispatch(req, func(resp response) {
+			c.fromSrv.send(req.reqID, func() { c.deliver(resp) })
+		})
 	})
 }
 
@@ -182,6 +246,52 @@ func (c *Conn) deliver(resp response) {
 	r := resp
 	pc.resp = &r
 	pc.cond.Broadcast()
+}
+
+// Reserve books a single-domain one-shot reservation through this
+// stub (the serving-system path: no two-phase coordination, just this
+// domain's broker). It returns the reservation id; errors are either
+// local (ErrBreakerOpen, ErrDeadline, ErrOverloaded) or the server's
+// refusal text.
+func (c *Conn) Reserve(ctx *sim.Ctx, spec gara.Spec) (uint64, error) {
+	resp, err := c.call(ctx, methodReserve, request{spec: spec, trace: c.nextCallTrace()})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.ok {
+		return 0, fmt.Errorf("ctrlplane: %s refused: %s", c.name, resp.errText)
+	}
+	return resp.resID, nil
+}
+
+// Cancel releases a reservation previously created with Reserve.
+func (c *Conn) Cancel(ctx *sim.Ctx, resID uint64) error {
+	resp, err := c.call(ctx, methodCancel, request{resID: resID, trace: c.nextCallTrace()})
+	if err != nil {
+		return err
+	}
+	return rpcError(resp)
+}
+
+// nextCallTrace derives a deterministic per-call trace ID for direct
+// Conn calls (coordinator calls derive theirs per co-reservation).
+// The key mixes the stub's identity hash with the upcoming request
+// id, so tenants sharing a domain get distinct traces.
+func (c *Conn) nextCallTrace() spans.TraceID {
+	if c.idHash == 0 {
+		c.idHash = strHash(c.name + "/" + c.Tenant)
+	}
+	return spans.DeriveTrace(spans.NSReservation, c.idHash^(c.nextReq+1))
+}
+
+// strHash is FNV-1a, for deterministic trace keying by stub identity.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // rpcError converts a server-side refusal into an error.

@@ -42,6 +42,14 @@ type request struct {
 	resID  uint64 // commit/abort/cancel: the reservation being acted on
 	spec   gara.Spec
 	ttl    time.Duration // prepare: lease TTL
+	// from names the requesting tenant; the admission queue dequeues
+	// fairly across tenants so one storming client cannot starve the
+	// rest.
+	from string
+	// deadline is the client's absolute call deadline (kernel time).
+	// The admission queue drops requests already past it at dequeue —
+	// serving them would be dead work the client can no longer use.
+	deadline time.Duration
 	// trace/parent propagate the coordinator's span context so
 	// client-attempt and server-execution spans link into one causal
 	// trace per co-reservation.
@@ -56,6 +64,11 @@ type response struct {
 	errText     string
 	notInDomain bool   // prepare/reserve refusal because no hop is owned
 	resID       uint64 // prepare/reserve: the reservation id created
+	// overloaded marks an admission-control rejection (queue full,
+	// CoDel shed, brownout); retryAfterNS tells the client when the
+	// server expects to have drained enough capacity to admit it.
+	overloaded   bool
+	retryAfterNS int64
 }
 
 // Interned method and fate names for ctrl.* flight-recorder events.
@@ -79,6 +92,7 @@ const (
 	rpcOK       = 0
 	rpcTimeout  = 1
 	rpcRejected = 2
+	rpcShed     = 3
 )
 
 // Interned span names per method, client ("rpc.") and server

@@ -31,6 +31,11 @@ type Options struct {
 	// 2×Deadline×domains at Coordinator build time; 0 here defers to
 	// gara.DefaultLeaseTTL).
 	LeaseTTL time.Duration
+	// Admission, when ServiceTime > 0, puts the overload-control layer
+	// (bounded fair queue, CoDel shedding, brownout) in front of every
+	// domain server. The zero value keeps the legacy infinite-capacity
+	// synchronous dispatch.
+	Admission Admission
 }
 
 func (o Options) withDefaults() Options {
@@ -86,15 +91,39 @@ func (p *Plane) AddDomain(name string, g *gara.Gara, rm *gara.NetworkRM) *Conn {
 		rm.Journal = gara.NewJournal()
 	}
 	srv := NewServer(p.k, name, g, rm)
-	toSrv := newChan(p.k, name+"/req", p.opts.Delay, p.opts.Jitter)
-	fromSrv := newChan(p.k, name+"/rep", p.opts.Delay, p.opts.Jitter)
-	breaker := NewBreaker(p.k, name, p.opts.BreakerThreshold, p.opts.BreakerCooldown)
-	backoff := gq.NewBackoff(sim.NewRNG(p.k.RNG().Int63()),
-		p.opts.Timeout/2, 4*p.opts.Timeout)
-	conn := NewConn(p.k, srv, toSrv, fromSrv, p.opts.Timeout, p.opts.Deadline, backoff, breaker)
+	if p.opts.Admission.ServiceTime > 0 {
+		srv.EnableAdmission(p.opts.Admission)
+	}
+	conn := p.newConn(srv, name, "")
 	p.names = append(p.names, name)
 	p.conns[name] = conn
 	return conn
+}
+
+// newConn builds a client stub (channels, breaker, backoff) for srv.
+func (p *Plane) newConn(srv *Server, chanName, tenant string) *Conn {
+	toSrv := newChan(p.k, chanName+"/req", p.opts.Delay, p.opts.Jitter)
+	fromSrv := newChan(p.k, chanName+"/rep", p.opts.Delay, p.opts.Jitter)
+	breaker := NewBreaker(p.k, chanName, p.opts.BreakerThreshold, p.opts.BreakerCooldown)
+	backoff := gq.NewBackoff(sim.NewRNG(p.k.RNG().Int63()),
+		p.opts.Timeout/2, 4*p.opts.Timeout)
+	conn := NewConn(p.k, srv, toSrv, fromSrv, p.opts.Timeout, p.opts.Deadline, backoff, breaker)
+	conn.Tenant = tenant
+	return conn
+}
+
+// AddTenantConn wires an additional client stub for an existing
+// domain, representing a distinct tenant: its own channel pair,
+// breaker, and backoff schedule, sharing the domain's server — so the
+// admission queue sees (and fair-queues) competing principals. The
+// stub is not registered in the plane's conn map (Conn(domain) stays
+// the primary stub) and fault targeting applies per stub.
+func (p *Plane) AddTenantConn(domain, tenant string) *Conn {
+	primary := p.conns[domain]
+	if primary == nil {
+		panic("ctrlplane: AddTenantConn on unknown domain " + domain)
+	}
+	return p.newConn(primary.srv, domain+"/"+tenant, tenant)
 }
 
 // Names returns the domain names in the order added.

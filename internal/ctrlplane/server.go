@@ -24,6 +24,10 @@ type Server struct {
 	rm   *gara.NetworkRM
 
 	crashed bool
+	// adm, when non-nil, is the overload-control layer: requests go
+	// through a bounded fair admission queue and a finite-capacity
+	// service loop instead of executing inline on channel delivery.
+	adm *admitQueue
 	// seen is the reply cache: a retried request gets its original
 	// answer instead of a second execution. Session state — lost on
 	// crash; correctness then rests on lease expiry, not on dedup.
@@ -66,6 +70,65 @@ func (s *Server) RM() *gara.NetworkRM { return s.rm }
 
 // Crashed reports whether the server is currently down.
 func (s *Server) Crashed() bool { return s.crashed }
+
+// EnableAdmission puts the overload-control layer in front of the
+// server: a bounded admission queue with per-tenant fair dequeue,
+// deadline-expired drop, CoDel shedding, and brownout. Must be called
+// before traffic flows; cfg.ServiceTime must be > 0.
+func (s *Server) EnableAdmission(cfg Admission) {
+	if cfg.ServiceTime <= 0 {
+		panic("ctrlplane: EnableAdmission needs ServiceTime > 0")
+	}
+	s.adm = newAdmitQueue(s.k, s.name, s, cfg)
+}
+
+// Admission returns the overload-control layer, or nil when disabled.
+func (s *Server) Admission() *admitQueue { return s.adm }
+
+// SetBrownoutSink mirrors admission brownout-level changes into the
+// policy broker above this domain's Gara (e.g. *broker.Broker), so
+// quota decisions follow the same degradation ladder.
+func (s *Server) SetBrownoutSink(sink interface{ SetBrownout(int) }) {
+	if s.adm != nil {
+		s.adm.sink = sink
+	}
+}
+
+// QueueDepth returns the admission queue depth (0 when admission is
+// disabled).
+func (s *Server) QueueDepth() int {
+	if s.adm == nil {
+		return 0
+	}
+	return s.adm.Depth()
+}
+
+// BrownoutLevel returns the current brownout level (0 when admission
+// is disabled).
+func (s *Server) BrownoutLevel() int {
+	if s.adm == nil {
+		return 0
+	}
+	return s.adm.Level()
+}
+
+// dispatch routes one delivered request: through the admission queue
+// when overload control is enabled, else the legacy synchronous
+// execution. reply is invoked with the response if one is produced (a
+// crashed server produces none — the client sees a timeout).
+func (s *Server) dispatch(req request, reply func(response)) {
+	if s.adm != nil {
+		if s.crashed {
+			return
+		}
+		s.adm.enqueue(req, reply)
+		return
+	}
+	resp, alive := s.handle(req)
+	if alive {
+		reply(resp)
+	}
+}
 
 // handle executes (or replays) one request. ok=false means the server
 // is down and produced no reply at all.
@@ -178,6 +241,9 @@ func (s *Server) Crash() {
 	s.seen = make(map[uint64]response)
 	s.prepared = make(map[uint64]*gara.Prepared)
 	s.committed = make(map[uint64]*gara.Reservation)
+	if s.adm != nil {
+		s.adm.wipe()
+	}
 	s.rm.Crash()
 }
 

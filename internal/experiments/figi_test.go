@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpichgq/internal/spans"
+)
+
+// TestFigIOverloadControlsPreventCollapse pins the figure's qualitative
+// story: without overload controls goodput collapses under offered
+// load well past capacity, while with controls it degrades gracefully,
+// sheds visibly, and protects the premium class.
+func TestFigIOverloadControlsPreventCollapse(t *testing.T) {
+	// The protocol time constants (service time, deadline, queue
+	// limits) are unscaled, so a shorter storm window preserves the
+	// collapse dynamics while keeping the test fast.
+	res := RunFigureI(Config{Seed: 1, TimeScale: 0.25, Parallel: 8})
+	if len(res.Controls) != len(res.Mults) || len(res.NoCtrl) != len(res.Mults) {
+		t.Fatalf("points per mode = %d/%d, want %d", len(res.Controls), len(res.NoCtrl), len(res.Mults))
+	}
+	for i := 1; i < len(res.Mults); i++ {
+		if res.Mults[i] <= res.Mults[i-1] {
+			t.Fatalf("multipliers not ascending: %v", res.Mults)
+		}
+	}
+	last := len(res.Mults) - 1
+	if res.Mults[last] < 10 {
+		t.Fatalf("sweep tops out at %.1fx, want >= 10x overload", res.Mults[last])
+	}
+	ctlPeak, rawPeak := 0.0, 0.0
+	for i := range res.Mults {
+		if g := res.Controls[i].GoodputRPS; g > ctlPeak {
+			ctlPeak = g
+		}
+		if g := res.NoCtrl[i].GoodputRPS; g > rawPeak {
+			rawPeak = g
+		}
+	}
+	ctl10, raw10 := res.Controls[last], res.NoCtrl[last]
+	// Collapse without controls: goodput at 10x far below the
+	// uncontrolled configuration's own peak.
+	if rawPeak <= 0 || raw10.GoodputRPS > 0.5*rawPeak {
+		t.Errorf("no-controls goodput did not collapse: %.1f/s at %.0fx vs peak %.1f/s",
+			raw10.GoodputRPS, res.Mults[last], rawPeak)
+	}
+	// Graceful degradation with controls: goodput at 10x holds near the
+	// controlled peak and dominates the collapsed configuration.
+	if ctl10.GoodputRPS < 0.75*ctlPeak {
+		t.Errorf("controls goodput sagged at %.0fx: %.1f/s vs peak %.1f/s",
+			res.Mults[last], ctl10.GoodputRPS, ctlPeak)
+	}
+	if ctl10.GoodputRPS < 3*raw10.GoodputRPS {
+		t.Errorf("controls goodput %.1f/s does not dominate collapsed %.1f/s at %.0fx",
+			ctl10.GoodputRPS, raw10.GoodputRPS, res.Mults[last])
+	}
+	// The controls must actually be doing something: sheds at overload,
+	// none far below capacity.
+	if ctl10.Sheds == 0 {
+		t.Error("controls shed nothing at 10x offered load")
+	}
+	// Below capacity only transient Poisson bursts may shed — more than
+	// a few percent of offered load means the controls misfire at idle.
+	if lo := res.Controls[0]; lo.Sheds > lo.Offered/20 {
+		t.Errorf("controls shed %d of %d requests at %.1fx (below capacity)",
+			lo.Sheds, lo.Offered, res.Mults[0])
+	}
+	// The collapse mechanism is dead work: uncontrolled clients burn
+	// whole deadlines.
+	if raw10.Deadlines == 0 {
+		t.Error("no deadline exhaustion without controls at 10x — no collapse mechanism visible")
+	}
+	// Class protection: under brownout the premium class must be
+	// admitted at a higher rate than traffic overall.
+	if ctl10.PremiumOffered == 0 || ctl10.Offered == 0 {
+		t.Fatal("no premium traffic offered at 10x")
+	}
+	premRate := float64(ctl10.PremiumOK) / float64(ctl10.PremiumOffered)
+	overallRate := float64(ctl10.OK) / float64(ctl10.Offered)
+	if premRate <= overallRate {
+		t.Errorf("premium admit rate %.2f not above overall %.2f at 10x — no class protection",
+			premRate, overallRate)
+	}
+}
+
+// renderFigITrace runs figure I with tracing on and returns the merged
+// Chrome trace file as a string.
+func renderFigITrace(t *testing.T, parallel int) string {
+	t.Helper()
+	cfg := Config{Seed: 1, TimeScale: 0.05, Parallel: parallel, Trace: spans.NewCollector()}
+	RunFigureI(cfg)
+	var b strings.Builder
+	if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return b.String()
+}
+
+// TestFigITraceDeterministicAcrossParallel: a traced figI run — Poisson
+// storms, admission queues, sheds, brownout transitions — must emit
+// byte-identical Chrome traces at -parallel 1 and -parallel 8, and the
+// trace must carry the admission lifecycle spans.
+func TestFigITraceDeterministicAcrossParallel(t *testing.T) {
+	seq := renderFigITrace(t, 1)
+	par := renderFigITrace(t, 8)
+	if seq != par {
+		t.Fatalf("trace output differs between -parallel 1 and -parallel 8 (%d vs %d bytes)", len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("traced figI run produced no output")
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(seq), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	want := map[string]bool{"admission.queue": false, "admission.shed": false}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			if _, ok := want[ev.Name]; ok {
+				want[ev.Name] = true
+			}
+		}
+	}
+	for name, seen := range map[string]bool(want) {
+		if !seen {
+			t.Errorf("no %s span in traced figI run", name)
+		}
+	}
+}

@@ -76,10 +76,41 @@ var (
 	ErrNoReattach    = errors.New("gara: resource manager cannot reattach")
 )
 
+// Class ranks a reservation request for admission under overload.
+// The slot table itself is class-blind — capacity is capacity — but
+// the control plane's brownout mode sheds lower classes first so
+// premium admission degrades last (see internal/ctrlplane).
+type Class uint8
+
+const (
+	// ClassBestEffort is background work: first to shed.
+	ClassBestEffort Class = iota
+	// ClassNormal is interactive work without a guarantee.
+	ClassNormal
+	// ClassPremium carries a QoS guarantee: shed only when the broker
+	// is saturated outright.
+	ClassPremium
+)
+
+// String names the class for metrics labels and operator output.
+func (c Class) String() string {
+	switch c {
+	case ClassPremium:
+		return "premium"
+	case ClassNormal:
+		return "normal"
+	default:
+		return "besteffort"
+	}
+}
+
 // Spec describes a requested reservation. Type selects the resource
 // manager; the manager reads its own fields and ignores the rest.
 type Spec struct {
 	Type ResourceType
+	// Class ranks the request for overload shedding (default
+	// ClassBestEffort — unranked traffic yields first).
+	Class Class
 	// Start is the absolute virtual start time. A Start at or before
 	// "now" is an immediate reservation; later is an advance
 	// reservation.

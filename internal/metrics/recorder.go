@@ -94,6 +94,13 @@ const (
 	// EvRankCkpt: a rank saved a checkpoint. Subject=task name,
 	// V1=world rank, V2=application step.
 	EvRankCkpt
+	// EvAdmissionShed: the control-plane admission queue rejected or
+	// dropped a request. Subject=rm, V1=request id, V2=shed reason
+	// (see ctrlplane), V3=queue depth at the shed.
+	EvAdmissionShed
+	// EvBrownout: a broker changed its brownout level. Subject=rm,
+	// V1=new level, V2=previous level, V3=queue depth at the change.
+	EvBrownout
 	evSentinel // keep last
 )
 
@@ -123,6 +130,8 @@ var eventTypeNames = [...]string{
 	EvRankCrash:         "rank.crash",
 	EvRankRestart:       "rank.restart",
 	EvRankCkpt:          "rank.ckpt",
+	EvAdmissionShed:     "admission.shed",
+	EvBrownout:          "brownout",
 }
 
 // String returns the event type's wire name (used by exporters).

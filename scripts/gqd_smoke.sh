@@ -59,6 +59,17 @@ check() {
 }
 
 check /healthz
+# The healthy-path body must be the documented JSON shape: a healthy
+# status, the scenario name, and progress fields. (A halted or
+# panicked scenario answers 503 instead, which check would reject.)
+for field in '"status":"ok"' '"scenario":"fig5"' '"virtual_now_ns"' '"virtual_dur_ns"' '"done"' '"spans"'; do
+  if ! grep -q "$field" "$body"; then
+    echo "gqd smoke: /healthz body missing $field" >&2
+    cat "$body" >&2
+    exit 1
+  fi
+done
+echo "gqd smoke: /healthz body shape OK"
 check /metrics
 check '/traces?limit=1'
 check '/events?n=5'
