@@ -46,7 +46,7 @@ bench:
 # Micro + macro benchmark trajectory for this PR, committed as JSON so
 # future PRs can diff against it. Override BENCH_OUT for the next PR's
 # file (bench-guard always picks the newest BENCH_PR<n>.json).
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 bench-json:
 	{ $(GO) test -bench 'BenchmarkKernel|BenchmarkLinkForward|BenchmarkTCPTransfer' \
 		-benchmem -run xxx ./internal/sim/ ./internal/netsim/ ./internal/tcpsim/ ; \
@@ -56,12 +56,15 @@ bench-json:
 
 # Fast CI guard: the packet-forward hot path must stay at 0 allocs/op,
 # the kernel's pooled event path must stay allocation-free, and the
-# guard benchmarks must not regress against the newest committed
-# BENCH_PR<n>.json trajectory.
+# guard benchmarks — including the full fluid-mode Figure 5 macro run
+# — must not regress against the newest committed BENCH_PR<n>.json
+# trajectory.
 bench-guard:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/sim/ ./internal/netsim/
-	$(GO) test -bench 'BenchmarkKernelAfter$$|BenchmarkLinkForward' -benchmem -run xxx \
-		./internal/sim/ ./internal/netsim/ | $(GO) run ./cmd/benchjson -guard
+	{ $(GO) test -bench 'BenchmarkKernelAfter$$|BenchmarkLinkForward' -benchmem -run xxx \
+		./internal/sim/ ./internal/netsim/ ; \
+	  $(GO) test -bench 'BenchmarkFigure5$$' -benchmem -benchtime=1x -run xxx -timeout 600s . ; } \
+		| $(GO) run ./cmd/benchjson -guard
 
 # End-to-end smoke of the gqd observability daemon: short live fig5
 # run, every endpoint must answer 200 with a body, SIGTERM must shut
@@ -73,14 +76,18 @@ smoke-gqd:
 results:
 	$(GO) run ./cmd/garnet -exp all -scale 1 -svgdir docs/figures > RESULTS.txt
 
+# Figure regeneration for docs. The contention-sweep figures (fig5,
+# fig6, fig7, figF) run their background traffic in hybrid fluid mode:
+# same curves within the validated 2% bound, an order of magnitude
+# less kernel work. Drop -fluid to regenerate the packet-level golden.
 figures:
 	$(GO) run ./cmd/garnet -exp fig1 -svgdir docs/figures >/dev/null
-	$(GO) run ./cmd/garnet -exp fig5 -svgdir docs/figures >/dev/null
-	$(GO) run ./cmd/garnet -exp fig6 -svgdir docs/figures >/dev/null
-	$(GO) run ./cmd/garnet -exp fig7 -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig5 -fluid -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig6 -fluid -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp fig7 -fluid -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp fig8 -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp fig9 -svgdir docs/figures >/dev/null
-	$(GO) run ./cmd/garnet -exp figF -svgdir docs/figures >/dev/null
+	$(GO) run ./cmd/garnet -exp figF -fluid -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figG -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figH -svgdir docs/figures >/dev/null
 	$(GO) run ./cmd/garnet -exp figI -svgdir docs/figures >/dev/null

@@ -15,9 +15,10 @@
 // In -guard mode benchjson instead compares the run on stdin against
 // the committed baseline — the newest BENCH_PR<n>.json in the current
 // directory, never a hardcoded name — and exits nonzero when a shared
-// benchmark regresses: allocs/op above the baseline, or ns/op more
-// than -slack times the baseline (generous by default because CI
-// machines vary; the allocation check is exact).
+// benchmark regresses: allocs/op more than 1% above the baseline
+// (exact for zero-alloc paths, tolerant of scheduler jitter in macro
+// benchmarks), or ns/op more than -slack times the baseline (generous
+// by default because CI machines vary).
 package main
 
 import (
@@ -137,7 +138,10 @@ func runGuard(results []Result, slack float64) error {
 			continue
 		}
 		compared++
-		if r.AllocsPerOp > b.AllocsPerOp {
+		// Zero-alloc paths stay exact (1% of 0 is 0); macro
+		// benchmarks whose counts jitter by a handful in millions
+		// (goroutine scheduling in sweeps) get 1% of headroom.
+		if allowed := b.AllocsPerOp + b.AllocsPerOp/100; r.AllocsPerOp > allowed {
 			failed++
 			fmt.Printf("benchjson: REGRESSION %s: %d allocs/op, baseline %d\n",
 				r.Name, r.AllocsPerOp, b.AllocsPerOp)

@@ -35,6 +35,8 @@ func main() {
 	topo := flag.Bool("topology", false, "print the testbed topology and exit")
 	parallel := flag.Int("parallel", experiments.MaxParallel(),
 		"worker count for sweep experiments (output is identical for any value)")
+	fluid := flag.Bool("fluid", false,
+		"run background contention in hybrid fluid/packet mode (order-of-magnitude faster; plateau within 2% of packet level)")
 	traceOut := flag.String("trace", "",
 		"write the experiment's causal spans as Chrome trace-event JSON to this file (fig5, figG, figH)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -82,7 +84,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, TimeScale: *scale, Parallel: *parallel}
+	cfg := experiments.Config{Seed: *seed, TimeScale: *scale, Parallel: *parallel, FluidBackground: *fluid}
 	if *traceOut != "" {
 		cfg.Trace = spans.NewCollector()
 	}
@@ -160,6 +162,8 @@ func main() {
 			fmt.Print(experiments.AblationOverheadFactor(cfg))
 			fmt.Println()
 			fmt.Print(experiments.AblationEraTCP(cfg))
+			fmt.Println()
+			fmt.Print(experiments.AblationFluidValidation(cfg))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)

@@ -61,11 +61,15 @@ var wallClockFns = map[string]bool{
 
 // emissionMethods are methods whose call order is observable in the
 // simulation trace: kernel scheduling, process spawning, flight
-// recorder emission, and control-plane RPC transmission.
+// recorder emission, control-plane RPC transmission, and the fluid
+// flow lifecycle (Start/Stop/SetRate emit flight-recorder events and
+// trigger the rate solver, whose per-flow EvFluidRate emissions follow
+// call order).
 var emissionMethods = map[string]bool{
 	"Schedule": true, "At": true, "AtFunc": true, "After": true,
 	"AfterFunc": true, "AfterPrio": true, "AfterPrioFunc": true,
 	"Spawn": true, "Emit": true, "call": true, "transmit": true,
+	"Start": true, "Stop": true, "SetRate": true, "refreshFluid": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"mpichgq/internal/netsim"
 	"mpichgq/internal/sim"
 )
 
@@ -53,6 +54,24 @@ func (s *server) mapOrder(d time.Duration) {
 	sort.Strings(names)
 	for _, name := range names {
 		s.peers[name].After(d, func() {})
+	}
+}
+
+func (s *server) fluidMapOrder(flows map[string]*netsim.FluidFlow) {
+	for _, fl := range flows {
+		fl.SetRate(0) // want `SetRate called while ranging over a map`
+	}
+	for _, fl := range flows {
+		fl.Stop() // want `Stop called while ranging over a map`
+	}
+	// ok: sorted iteration
+	names := make([]string, 0, len(flows))
+	for name := range flows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		flows[name].Stop()
 	}
 }
 

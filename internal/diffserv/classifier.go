@@ -111,6 +111,13 @@ type Rule struct {
 	droppedPkts uint64
 	remarked    uint64
 
+	// Fluid policing state: the conform budget in bytes/s left for
+	// fluid aggregates in the current solver refresh (reset when the
+	// generation changes, so concurrent fluid flows share one bucket
+	// rate collectively).
+	fluidGen    uint64
+	fluidBudget float64
+
 	// Metric handles, shared per DSCP class across rules; attached by
 	// Classifier.AddRule/InsertRule (registry dedup makes every rule
 	// marking the same class share one series).
@@ -220,4 +227,65 @@ func (c *Classifier) Filter(p *netsim.Packet) *netsim.Packet {
 		return p
 	}
 	return p
+}
+
+// FilterFluid implements netsim.FluidFilter: classify, mark, and
+// police a fluid flow's rate components. Policing acts on the steady
+// rate — the conforming share is min(rate, bucket rate), with bucket
+// *depth* (burst tolerance) irrelevant at steady state — and the
+// exceed action drops or remarks the excess rate exactly as it would
+// excess packets. Rules police fluid collectively within one solver
+// refresh: the first flows through a shared aggregate policer consume
+// its rate budget in deterministic flow order.
+func (c *Classifier) FilterFluid(gen uint64, key netsim.FlowKey, comps []netsim.FluidComponent) []netsim.FluidComponent {
+	out := make([]netsim.FluidComponent, 0, len(comps)+1)
+	for _, comp := range comps {
+		probe := netsim.Packet{
+			Src:     key.Src,
+			Dst:     key.Dst,
+			SrcPort: key.SrcPort,
+			DstPort: key.DstPort,
+			Proto:   key.Proto,
+			DSCP:    comp.DSCP,
+		}
+		var rule *Rule
+		for _, r := range c.rules {
+			if r.Match.Matches(&probe) {
+				rule = r
+				break
+			}
+		}
+		if rule == nil {
+			out = append(out, comp)
+			continue
+		}
+		out = rule.applyFluid(gen, comp, out)
+	}
+	return out
+}
+
+// applyFluid applies one rule to one fluid component, appending the
+// surviving components to out.
+func (r *Rule) applyFluid(gen uint64, comp netsim.FluidComponent, out []netsim.FluidComponent) []netsim.FluidComponent {
+	if r.Police == nil {
+		comp.DSCP = r.Mark
+		out = append(out, comp)
+		return out
+	}
+	if r.fluidGen != gen {
+		r.fluidGen = gen
+		r.fluidBudget = float64(r.Police.Rate()) / 8
+	}
+	conform := comp.Rate
+	if conform > r.fluidBudget {
+		conform = r.fluidBudget
+	}
+	r.fluidBudget -= conform
+	if conform > 0 {
+		out = append(out, netsim.FluidComponent{Rate: conform, DSCP: r.Mark})
+	}
+	if excess := comp.Rate - conform; excess > 0 && r.Exceed == ExceedRemark {
+		out = append(out, netsim.FluidComponent{Rate: excess, DSCP: netsim.DSCPBestEffort})
+	}
+	return out
 }

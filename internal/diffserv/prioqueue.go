@@ -58,6 +58,21 @@ func (s *PrioScheduler) Len() int { return s.ef.Len() + s.be.Len() }
 // Bytes implements netsim.Queue.
 func (s *PrioScheduler) Bytes() units.ByteSize { return s.ef.Bytes() + s.be.Bytes() }
 
+// Expedited implements netsim.ExpeditedQueue: EF maps to the
+// expedited band, everything else to best effort.
+func (s *PrioScheduler) Expedited(d netsim.DSCP) bool { return d == netsim.DSCPEF }
+
+// BandOccupancy implements netsim.ExpeditedQueue, reporting one band's
+// queued bytes and byte capacity. The fluid solver uses it to lane
+// fluid aggregates and to split buffer space between fluid backlog and
+// packets.
+func (s *PrioScheduler) BandOccupancy(expedited bool) (bytes, capacity units.ByteSize) {
+	if expedited {
+		return s.ef.Bytes(), s.ef.Cap()
+	}
+	return s.be.Bytes(), s.be.Cap()
+}
+
 // EFLen returns the number of packets queued in the expedited band.
 func (s *PrioScheduler) EFLen() int { return s.ef.Len() }
 

@@ -40,7 +40,7 @@ func AblationBucketDepth(cfg Config) trace.Table {
 		{"bandwidth/4 (large)", diffserv.LargeBucketDivisor},
 	} {
 		tb := garnet.New(cfg.Seed)
-		blast(tb, 0, 0)
+		cfg.blast(tb, 0, 0)
 		d := &DVis{
 			FrameSize: 50 * units.KB,
 			FPS:       1,
@@ -70,7 +70,7 @@ func AblationShaping(cfg Config) trace.Table {
 	}
 	for _, shaped := range []bool{false, true} {
 		tb := garnet.New(cfg.Seed)
-		blast(tb, 0, 0)
+		cfg.blast(tb, 0, 0)
 		d := &DVis{
 			FrameSize: 50 * units.KB,
 			FPS:       1,
@@ -231,7 +231,7 @@ func AblationEraTCP(cfg Config) trace.Table {
 		{"era (500ms timers, delack)", &era, diffserv.LargeBucketDivisor},
 	} {
 		tb := garnet.New(cfg.Seed)
-		blast(tb, 0, 0)
+		cfg.blast(tb, 0, 0)
 		d := &DVis{
 			FrameSize: 50 * units.KB,
 			FPS:       1,
@@ -249,6 +249,53 @@ func AblationEraTCP(cfg Config) trace.Table {
 			bucket = "large"
 		}
 		t.Add(tc.name, bucket, fmt.Sprintf("%.0f", got.Achieved.Kbps()))
+	}
+	return t
+}
+
+// AblationFluidValidation validates the hybrid fluid/packet background
+// mode (Config.FluidBackground) against the packet-level reference.
+// For each Figure 5 message size it measures the plateau point — the
+// sweep's largest reservation, past the knee where throughput no
+// longer depends on reservation size — under both background modes
+// and reports the throughputs, the relative error, and the kernel
+// event volume. The model's acceptance bound is a plateau error
+// within 2% of packet level (docs/performance.md derives it); the
+// event columns show where the speedup comes from: steady fluid
+// contention costs zero kernel events between rate changes.
+func AblationFluidValidation(cfg Config) trace.Table {
+	cfg = cfg.withDefaults()
+	dur := cfg.scale(20 * time.Second)
+	rsv := Figure5Reservations[len(Figure5Reservations)-1]
+	t := trace.Table{
+		Title:   "Ablation: fluid background vs packet background (Figure 5 plateau point)",
+		Headers: []string{"msg size", "packet Mb/s", "fluid Mb/s", "error", "packet events", "fluid events", "event ratio"},
+	}
+	type job struct {
+		size  units.ByteSize
+		fluid bool
+	}
+	var jobs []job
+	for _, size := range Figure5MessageSizes {
+		jobs = append(jobs, job{size, false}, job{size, true})
+	}
+	points := Sweep(cfg.Parallel, len(jobs), func(i int) PingPongPoint {
+		c := cfg
+		c.FluidBackground = jobs[i].fluid
+		return pingPongThroughput(c, i, jobs[i].size, rsv, true, dur)
+	})
+	for i := 0; i < len(jobs); i += 2 {
+		pkt, flu := points[i], points[i+1]
+		errFrac := (flu.Throughput.Mbps() - pkt.Throughput.Mbps()) / pkt.Throughput.Mbps()
+		t.Add(
+			fmt.Sprintf("%dKb", jobs[i].size.Bits()/1000),
+			fmt.Sprintf("%.2f", pkt.Throughput.Mbps()),
+			fmt.Sprintf("%.2f", flu.Throughput.Mbps()),
+			fmt.Sprintf("%+.2f%%", 100*errFrac),
+			fmt.Sprintf("%d", pkt.Events),
+			fmt.Sprintf("%d", flu.Events),
+			fmt.Sprintf("%.1fx", float64(pkt.Events)/float64(flu.Events)),
+		)
 	}
 	return t
 }

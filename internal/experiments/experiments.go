@@ -25,7 +25,7 @@ type Config struct {
 	// paper's timelines; tests use less).
 	TimeScale float64
 	// Parallel caps the worker count for sweep-style experiments
-	// (fig5, fig7, figF, figG). <= 0 means one worker per CPU. The
+	// (fig5, fig6, fig7, figF, figG). <= 0 means one worker per CPU. The
 	// worker count never changes experiment output, only wall-clock
 	// time: every sweep point runs on its own kernel.
 	Parallel int
@@ -34,6 +34,15 @@ type Config struct {
 	// index, so the merged Chrome trace is byte-identical at any
 	// Parallel. cmd/garnet's -trace flag plumbs this.
 	Trace *spans.Collector
+	// FluidBackground runs the background contention generator in
+	// hybrid fluid/packet mode: the blaster becomes a fluid rate
+	// installed at queues instead of per-packet events, cutting kernel
+	// event volume by an order of magnitude. Foreground MPI/TCP
+	// traffic stays packet-level. Results shift slightly (see the
+	// AblationFluidValidation error bound: plateau throughput within
+	// 2% of packet mode); output stays byte-identical at any Parallel
+	// within each mode.
+	FluidBackground bool
 }
 
 // traceCapacity is the completed-span ring size used for traced
@@ -83,15 +92,16 @@ func (c Config) scale(d time.Duration) time.Duration {
 const ContentionRate = 160 * units.Mbps
 
 // blast starts the standard contention generator on the competitive
-// host pair.
-func blast(tb *garnet.Testbed, from, to time.Duration) *trafficgen.UDPBlaster {
-	b := &trafficgen.UDPBlaster{
+// host pair, packet-level or fluid per the config.
+func (c Config) blast(tb *garnet.Testbed, from, to time.Duration) trafficgen.Background {
+	b := trafficgen.NewBackground(trafficgen.BackgroundOptions{
 		Rate:       ContentionRate,
 		PacketSize: 1000,
 		Jitter:     0.1,
 		Start:      from,
 		Stop:       to,
-	}
+		Fluid:      c.FluidBackground,
+	})
 	if err := b.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
 		panic(err)
 	}

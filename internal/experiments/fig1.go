@@ -43,7 +43,12 @@ func RunFigure1(cfg Config) Figure1Result {
 	// deep slow oscillation. Run the flow to a remote site at ~100 ms
 	// RTT, with the contention crossing the same wide-area link.
 	remote := tb.AddSite("esnet", 155*units.Mbps, 25*time.Millisecond)
-	bl := &trafficgen.UDPBlaster{Rate: ContentionRate, PacketSize: 1000, Jitter: 0.1}
+	// Always packet-level: the figure measures a best-effort TCP flow,
+	// and fluid contention would starve it outright instead of letting
+	// it scavenge leftover capacity (see docs/performance.md).
+	bl := trafficgen.NewBackground(trafficgen.BackgroundOptions{
+		Rate: ContentionRate, PacketSize: 1000, Jitter: 0.1,
+	})
 	if err := bl.Run(tb.CompSrc, remote, 9000); err != nil {
 		panic(err)
 	}

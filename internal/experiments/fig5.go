@@ -22,6 +22,10 @@ type PingPongPoint struct {
 	// premium-marked packets within/outside the token-bucket profile
 	// and out-of-profile drops.
 	Conform, Exceed, Dropped int64
+	// Events is the kernel's total executed event count for the
+	// point's run — the cost metric AblationFluidValidation compares
+	// across background modes.
+	Events uint64
 }
 
 // Figure5Result holds, per message size, the throughput-vs-reservation
@@ -108,7 +112,7 @@ func pingPongThroughput(cfg Config, pid int, msgSize units.ByteSize, reservation
 	tb := garnet.New(cfg.Seed)
 	cfg.enableTrace(tb.K)
 	if contended {
-		blast(tb, 0, 0)
+		cfg.blast(tb, 0, 0)
 	}
 	job := tb.NewMPIPair(tcpsim.DefaultOptions(), mpi.JobOptions{})
 	agent := gq.NewAgent(tb.Gara, job)
@@ -172,6 +176,7 @@ func pingPongThroughput(cfg Config, pid int, msgSize units.ByteSize, reservation
 	return PingPongPoint{
 		Throughput: units.RateOf(oneWayBytes, dur),
 		Conform:    conform, Exceed: exceed, Dropped: dropped,
+		Events: tb.K.EventsRun(),
 	}
 }
 

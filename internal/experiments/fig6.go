@@ -40,16 +40,31 @@ func RunFigure6(cfg Config) Figure6Result {
 	cfg = cfg.withDefaults()
 	res := Figure6Result{Curves: make(map[units.BitRate][]Figure6Point)}
 	dur := cfg.scale(30 * time.Second)
+	// Flatten the (frame, reservation) grid so the points fan out
+	// across workers like the other sweep figures; every point runs
+	// its own kernel at the same seed as before, and reassembly below
+	// preserves the sequential order exactly. The reservation fracs
+	// bracket the offered rate: well below, slightly below, at
+	// ~1.06x, and above.
+	fracs := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.06, 1.25, 1.5}
+	type job struct {
+		frame units.ByteSize
+		rsv   units.BitRate
+	}
+	var jobs []job
 	for _, frame := range Figure6FrameSizes {
 		offered := units.RateOf(frame*10, time.Second)
 		res.Offered = append(res.Offered, offered)
-		// Sweep reservations around the offered rate: well below,
-		// slightly below, at ~1.06x, and above.
-		for _, frac := range []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.06, 1.25, 1.5} {
-			rsv := units.BitRate(float64(offered) * frac)
-			achieved := dvisAchieved(cfg, frame, 10, rsv, dur)
-			res.Curves[offered] = append(res.Curves[offered], Figure6Point{Reservation: rsv, Achieved: achieved})
+		for _, frac := range fracs {
+			jobs = append(jobs, job{frame, units.BitRate(float64(offered) * frac)})
 		}
+	}
+	achieved := Sweep(cfg.Parallel, len(jobs), func(i int) units.BitRate {
+		return dvisAchieved(cfg, jobs[i].frame, 10, jobs[i].rsv, dur)
+	})
+	for i, j := range jobs {
+		offered := units.RateOf(j.frame*10, time.Second)
+		res.Curves[offered] = append(res.Curves[offered], Figure6Point{Reservation: j.rsv, Achieved: achieved[i]})
 	}
 	return res
 }
@@ -58,7 +73,7 @@ func RunFigure6(cfg Config) Figure6Result {
 // given reservation under standard contention.
 func dvisAchieved(cfg Config, frame units.ByteSize, fps int, reservation units.BitRate, dur time.Duration) units.BitRate {
 	tb := garnet.New(cfg.Seed)
-	blast(tb, 0, 0)
+	cfg.blast(tb, 0, 0)
 	d := &DVis{
 		FrameSize: frame,
 		FPS:       fps,

@@ -43,12 +43,15 @@ func RunFigure9(cfg Config) Figure9Result {
 	// where the congested flow limps along at a few Mb/s): a fully
 	// starved TCP backs its RTO off so far that recovery after the
 	// reservation would be delayed by the timer, not the network.
-	bl := &trafficgen.UDPBlaster{
+	// Always packet-level: the timeline's middle phases measure an
+	// unreserved flow limping through the congestion, which fluid
+	// contention would starve outright (see docs/performance.md).
+	bl := trafficgen.NewBackground(trafficgen.BackgroundOptions{
 		Rate:       150 * units.Mbps,
 		PacketSize: 1000,
 		Jitter:     0.1,
 		Start:      t10,
-	}
+	})
 	if err := bl.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
 		panic(err)
 	}

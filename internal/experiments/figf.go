@@ -122,7 +122,10 @@ func runFigFCurve(cfg Config, name string, reserve, heal bool) (FigureFCurve, *g
 
 	// The generator shares the premium flow's whole path, including
 	// the flapping WAN link and its backup.
-	bl := &trafficgen.UDPBlaster{Rate: ContentionRate, PacketSize: 1000, Jitter: 0.1}
+	bl := trafficgen.NewBackground(trafficgen.BackgroundOptions{
+		Rate: ContentionRate, PacketSize: 1000, Jitter: 0.1,
+		Fluid: cfg.FluidBackground,
+	})
 	if err := bl.Run(tb.CompSrc, far, 9000); err != nil {
 		panic(err)
 	}

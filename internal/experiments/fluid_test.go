@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mpichgq/internal/units"
+)
+
+// TestFluidValidationBound pins the hybrid model's acceptance bound:
+// at the Figure 5 plateau point (largest message, largest
+// reservation) fluid-mode throughput must land within 2% of the
+// packet-level reference, while executing a small fraction of its
+// kernel events. This is the regression guard for the error analysis
+// in docs/performance.md — if a fluid-model change pushes the plateau
+// outside the bound, this fails before the figures drift.
+func TestFluidValidationBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale comparison run")
+	}
+	// The bench scale: long enough that both modes reach steady state
+	// and slow-start/warm-up transients are amortized away.
+	cfg := Config{Seed: 1, TimeScale: 0.2}.withDefaults()
+	size := Figure5MessageSizes[len(Figure5MessageSizes)-1]
+	rsv := Figure5Reservations[len(Figure5Reservations)-1]
+	dur := cfg.scale(20 * time.Second)
+
+	run := func(fluid bool) PingPongPoint {
+		c := cfg
+		c.FluidBackground = fluid
+		return pingPongThroughput(c, 0, size, rsv, true, dur)
+	}
+	pkt := run(false)
+	flu := run(true)
+
+	errFrac := (flu.Throughput.Mbps() - pkt.Throughput.Mbps()) / pkt.Throughput.Mbps()
+	t.Logf("plateau: packet=%.3f Mb/s (%d events), fluid=%.3f Mb/s (%d events), error=%+.2f%%",
+		pkt.Throughput.Mbps(), pkt.Events, flu.Throughput.Mbps(), flu.Events, 100*errFrac)
+	if math.Abs(errFrac) > 0.02 {
+		t.Errorf("fluid plateau error %.2f%% exceeds the 2%% bound (packet %.3f Mb/s, fluid %.3f Mb/s)",
+			100*errFrac, pkt.Throughput.Mbps(), flu.Throughput.Mbps())
+	}
+	// The point of the mode is the event-volume reduction. The
+	// foreground TCP flow keeps its own per-packet events (~60% of
+	// the fluid run), so the bound here is on the total: fluid must
+	// at least halve it, which requires the background's share to
+	// vanish almost entirely.
+	if flu.Events*2 > pkt.Events {
+		t.Errorf("fluid mode ran %d events vs packet %d — expected at least a 2x reduction", flu.Events, pkt.Events)
+	}
+}
+
+// TestAblationFluidValidationShape checks the ablation renders one
+// row per message size with the full column set at test scale.
+func TestAblationFluidValidationShape(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	tbl := AblationFluidValidation(Config{Seed: 1, TimeScale: scale})
+	if got, want := len(tbl.Rows), len(Figure5MessageSizes); got != want {
+		t.Fatalf("ablation rows = %d, want %d", got, want)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tbl.Headers))
+		}
+	}
+}
+
+// TestFluidBackgroundChangesContention is a cheap sanity check that
+// FluidBackground actually engages: the fluid run must report far
+// fewer kernel events than the packet run even at tiny scale.
+func TestFluidBackgroundChangesContention(t *testing.T) {
+	cfg := Config{Seed: 1, TimeScale: 0.02}.withDefaults()
+	size := Figure5MessageSizes[0]
+	dur := cfg.scale(20 * time.Second)
+	pc := cfg
+	fc := cfg
+	fc.FluidBackground = true
+	pkt := pingPongThroughput(pc, 0, size, 8*units.Mbps, true, dur)
+	flu := pingPongThroughput(fc, 0, size, 8*units.Mbps, true, dur)
+	if flu.Events >= pkt.Events {
+		t.Errorf("fluid run executed %d events, packet run %d — fluid mode did not engage", flu.Events, pkt.Events)
+	}
+}

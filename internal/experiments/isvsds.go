@@ -42,7 +42,7 @@ func RunISvsDS(cfg Config, nFlows int) ISvsDSResult {
 
 	run := func(mode string) (units.BitRate, *garnet.Testbed, any) {
 		tb := garnet.NewWithOptions(garnet.Options{Seed: cfg.Seed})
-		blast(tb, 0, 0)
+		cfg.blast(tb, 0, 0)
 		var rsvp *intserv.RSVP
 		if mode == "is" {
 			// Replace the DS queues with WFQ at every router egress

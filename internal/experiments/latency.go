@@ -66,7 +66,12 @@ func RunLatency(cfg Config) LatencyResult {
 		// the thing the expedited queue bypasses — accumulates.
 		tb := garnet.NewWithOptions(garnet.Options{Seed: cfg.Seed, AccessRate: 622 * units.Mbps})
 		if contended {
-			b := &trafficgen.UDPBlaster{Rate: 175 * units.Mbps, PacketSize: 1000, Jitter: 0.05}
+			// Always packet-level: the best-effort RTT distribution
+			// being measured is exactly the per-packet queueing that
+			// fluid mode abstracts away.
+			b := trafficgen.NewBackground(trafficgen.BackgroundOptions{
+				Rate: 175 * units.Mbps, PacketSize: 1000, Jitter: 0.05,
+			})
 			if err := b.Run(tb.CompSrc, tb.CompDst, 9000); err != nil {
 				panic(err)
 			}

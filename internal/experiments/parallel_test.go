@@ -78,6 +78,19 @@ func TestFiguresDeterministicAcrossParallel(t *testing.T) {
 			return FigureFTable(r).String() + fmt.Sprintf("%d/%d/%d", r.Repairs, r.Fallbacks, r.Upgrades)
 		}},
 		{"figG", func(cfg Config) string { return FigureGTable(RunFigureG(cfg)).String() }},
+		// Fluid-background variants: the hybrid model must hold the
+		// same invariant. Its lazy queue integration and fixed-point
+		// rate solver run inside each point's own kernel, so worker
+		// count must not leak into the analytic state.
+		{"fig5-fluid", func(cfg Config) string {
+			cfg.FluidBackground = true
+			return Figure5Table(RunFigure5(cfg)).String()
+		}},
+		{"figF-fluid", func(cfg Config) string {
+			cfg.FluidBackground = true
+			r := RunFigureF(cfg)
+			return FigureFTable(r).String() + fmt.Sprintf("%d/%d/%d", r.Repairs, r.Fallbacks, r.Upgrades)
+		}},
 	}
 	for _, fig := range figures {
 		fig := fig

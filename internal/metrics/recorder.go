@@ -101,6 +101,16 @@ const (
 	// EvBrownout: a broker changed its brownout level. Subject=rm,
 	// V1=new level, V2=previous level, V3=queue depth at the change.
 	EvBrownout
+	// EvFluidStart: a fluid background flow became active.
+	// Subject=flow name, V1=offered rate (b/s), V2=chunk bytes.
+	EvFluidStart
+	// EvFluidStop: a fluid background flow stopped. Subject=flow name,
+	// V1=offered bytes, V2=delivered bytes.
+	EvFluidStop
+	// EvFluidRate: the fluid solver installed a new delivered rate for
+	// a flow after a rate-change or topology event. Subject=flow name,
+	// V1=offered rate (b/s), V2=delivered rate (b/s), V3=hop count.
+	EvFluidRate
 	evSentinel // keep last
 )
 
@@ -132,6 +142,9 @@ var eventTypeNames = [...]string{
 	EvRankCkpt:          "rank.ckpt",
 	EvAdmissionShed:     "admission.shed",
 	EvBrownout:          "brownout",
+	EvFluidStart:        "fluid.start",
+	EvFluidStop:         "fluid.stop",
+	EvFluidRate:         "fluid.rate",
 }
 
 // String returns the event type's wire name (used by exporters).

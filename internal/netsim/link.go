@@ -34,6 +34,10 @@ type Iface struct {
 	ingress      []IngressFilter
 	transmitting bool
 
+	// fluid, when non-nil, is the analytic state of fluid background
+	// traffic sharing this egress; see fluid.go.
+	fluid *ifaceFluid
+
 	// OnEgressDrop, if non-nil, is called when the egress queue
 	// rejects a packet.
 	OnEgressDrop func(p *Packet)
@@ -112,9 +116,12 @@ func (i *Iface) String() string {
 	return fmt.Sprintf("%s[%s]", i.node.name, i.link.name)
 }
 
-// enqueue places p on the egress queue and kicks the transmitter.
+// enqueue places p on the egress queue and kicks the transmitter. With
+// fluid traffic attached, the analytic fluid backlog shares the band's
+// buffer: a packet that would overflow the band including that backlog
+// is rejected like any other egress drop.
 func (i *Iface) enqueue(p *Packet) bool {
-	if !i.queue.Enqueue(p) {
+	if !i.fluidAdmits(p) || !i.queue.Enqueue(p) {
 		i.egressDrops++
 		i.mEgressDrops.Inc()
 		i.rec.Emit(metrics.EvPacketDropEgress, i.label, int64(p.Size), int64(p.DSCP), 0)
@@ -123,6 +130,15 @@ func (i *Iface) enqueue(p *Packet) bool {
 		}
 		i.node.net.FreePacket(p)
 		return false
+	}
+	if fl := i.fluid; fl != nil && fl.waiting && !fl.waitEF {
+		// An expedited arrival preempts a best-effort head's fluid
+		// wait: strict priority means it only waits for the expedited
+		// lane, so recompute with the shorter horizon.
+		if eq, ok := i.queue.(ExpeditedQueue); ok && eq.Expedited(p.DSCP) {
+			fl.waitTimer.Cancel()
+			fl.waiting = false
+		}
 	}
 	i.tryTransmit()
 	return true
@@ -134,12 +150,28 @@ func (i *Iface) tryTransmit() {
 		// retained and resume on SetUp(true).
 		return
 	}
+	k := i.node.net.k
+	if fl := i.fluid; fl != nil {
+		if fl.waiting {
+			return
+		}
+		fl.sync(k.Now())
+		chained := fl.chained
+		fl.chained = false
+		if !fl.granted && i.queue.Len() > 0 {
+			if w, efHead := fl.headWait(chained); w > 0 {
+				fl.waiting, fl.waitEF = true, efHead
+				fl.waitTimer = k.AfterPrioFunc(w, sim.PrioNet, ifaceFluidWaitDone, i, nil)
+				return
+			}
+		}
+		fl.granted = false
+	}
 	p := i.queue.Dequeue()
 	if p == nil {
 		return
 	}
 	i.transmitting = true
-	k := i.node.net.k
 	txTime := i.link.rate.TimeToSend(p.Size)
 	i.busy += txTime
 	k.AfterPrioFunc(txTime, sim.PrioNet, ifaceTxDone, i, p)
@@ -151,6 +183,10 @@ func (i *Iface) tryTransmit() {
 func ifaceTxDone(a0, a1 any) {
 	i := a0.(*Iface)
 	p := a1.(*Packet)
+	if fl := i.fluid; fl != nil {
+		fl.sync(i.node.net.k.Now()) // the drain was paused for this serialization
+		fl.chained = true           // next head competes at a band boundary
+	}
 	i.transmitting = false
 	if i.link.down {
 		// The carrier dropped mid-frame: the packet in flight is
@@ -238,6 +274,8 @@ func (l *Link) SetUp(up bool) {
 	if l.down == !up {
 		return // no change: repeated calls must not re-emit events
 	}
+	l.a.fluidSync()
+	l.b.fluidSync()
 	l.down = !up
 	if up {
 		l.rec.Emit(metrics.EvLinkUp, l.name,

@@ -138,6 +138,12 @@ type Network struct {
 	autoReroute   bool
 	topoObservers []func()
 
+	// Fluid background state; see fluid.go.
+	fluidFlows  []*FluidFlow
+	fluidIfaces []*Iface
+	fluidGen    uint64
+	nextFluid   uint64
+
 	// pktFree is the packet freelist; see AllocPacket.
 	pktFree []*Packet
 }
@@ -226,6 +232,10 @@ func (n *Network) linkStateChanged(_ *Link) {
 }
 
 func (n *Network) notifyTopology() {
+	// Fluid rates first: flows must re-resolve their paths (a down
+	// link, a reroute) before observers re-validate reservations over
+	// the new state.
+	n.refreshFluid()
 	for _, f := range n.topoObservers {
 		f()
 	}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// calQueue is a Brown calendar queue over the kernel's pooled events:
+// an array of time buckets of fixed width, each holding its events in
+// (at, prio, seq) order, scanned by a cursor that walks bucket windows
+// in virtual-time order. Enqueue is O(1) expected when the width
+// matches the inter-event gap; dequeue-min scans forward from the
+// cursor and falls back to a direct minimum search after an empty lap
+// (the far-future-timer case).
+//
+// This is the contender in the event-kernel bakeoff against the 4-ary
+// indexed heap (see BenchmarkKernelDense* in bench_test.go and the
+// verdict in docs/performance.md). It preserves the heap's exact
+// (at, prio, seq) total order, so swapping it into the kernel would
+// not change any simulation result — only the constant factors.
+type calQueue struct {
+	buckets [][]*event
+	width   time.Duration
+	n       int
+	// cur is the bucket the scan cursor is in; curStart is the start
+	// of cur's current window (the lap the cursor is on).
+	cur      int
+	curStart time.Duration
+}
+
+// newCalQueue sizes the queue for an expected inter-event gap. The
+// bucket count is fixed at creation; push grows it by rebuilding when
+// occupancy doubles past it.
+func newCalQueue(width time.Duration, nbuckets int) *calQueue {
+	if width <= 0 {
+		width = time.Microsecond
+	}
+	if nbuckets < 4 {
+		nbuckets = 4
+	}
+	return &calQueue{buckets: make([][]*event, nbuckets), width: width}
+}
+
+func (q *calQueue) len() int { return q.n }
+
+// bucketFor maps an absolute timestamp to its bucket index.
+func (q *calQueue) bucketFor(at time.Duration) int {
+	return int(at/q.width) % len(q.buckets)
+}
+
+// windowStart is the start of the bucket window containing at.
+func (q *calQueue) windowStart(at time.Duration) time.Duration {
+	return at - at%q.width
+}
+
+func (q *calQueue) push(e *event) {
+	if q.n >= 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+	idx := q.bucketFor(e.at)
+	b := q.buckets[idx]
+	// Insertion sort by the shared total order; buckets stay short
+	// when the width matches the workload, so the scan is cheap.
+	pos := sort.Search(len(b), func(i int) bool {
+		return eventHeap(nil).less(e, b[i])
+	})
+	b = append(b, nil)
+	copy(b[pos+1:], b[pos:])
+	b[pos] = e
+	q.buckets[idx] = b
+	q.n++
+	// An event behind the cursor would be skipped for a whole year;
+	// pull the cursor back to it.
+	if q.n == 1 || e.at < q.curStart {
+		q.cur = idx
+		q.curStart = q.windowStart(e.at)
+	}
+}
+
+func (q *calQueue) popMin() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for i := 0; i < len(q.buckets); i++ {
+		b := q.buckets[q.cur]
+		if len(b) > 0 && b[0].at < q.curStart+q.width {
+			return q.take(q.cur, 0)
+		}
+		q.cur++
+		q.curStart += q.width
+		if q.cur == len(q.buckets) {
+			q.cur = 0
+		}
+	}
+	// A full lap found nothing due in its window: the next event is
+	// more than a year ahead (or the queue is sparse). Find it
+	// directly and jump the cursor to its window.
+	var min *event
+	minIdx := 0
+	for idx, b := range q.buckets {
+		if len(b) > 0 && (min == nil || eventHeap(nil).less(b[0], min)) {
+			min, minIdx = b[0], idx
+		}
+	}
+	q.cur = minIdx
+	q.curStart = q.windowStart(min.at)
+	return q.take(minIdx, 0)
+}
+
+// take removes and returns the event at position pos of bucket idx.
+func (q *calQueue) take(idx, pos int) *event {
+	b := q.buckets[idx]
+	e := b[pos]
+	copy(b[pos:], b[pos+1:])
+	b[len(b)-1] = nil
+	q.buckets[idx] = b[:len(b)-1]
+	q.n--
+	return e
+}
+
+// remove deletes an event by handle, the calendar analogue of the
+// heap's indexed removal: recompute the bucket from the timestamp and
+// scan it for the pointer.
+func (q *calQueue) remove(e *event) bool {
+	idx := q.bucketFor(e.at)
+	for pos, x := range q.buckets[idx] {
+		if x == e {
+			q.take(idx, pos)
+			return true
+		}
+	}
+	return false
+}
+
+// resize rebuilds with nbuckets buckets and a width re-estimated from
+// the average gap between the earliest events, the classic heuristic
+// for keeping one-or-few events per bucket window.
+func (q *calQueue) resize(nbuckets int) {
+	var all []*event
+	for _, b := range q.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return eventHeap(nil).less(all[i], all[j]) })
+	width := q.width
+	if len(all) > 1 {
+		sample := len(all)
+		if sample > 64 {
+			sample = 64
+		}
+		if gap := all[sample-1].at - all[0].at; gap > 0 {
+			// A window holds ~3 events on average: wide enough that
+			// the cursor rarely walks empty buckets, narrow enough
+			// that insertion sorts stay short.
+			width = 3 * gap / time.Duration(sample-1)
+		}
+	}
+	q.buckets = make([][]*event, nbuckets)
+	q.width = width
+	q.n = 0
+	q.cur, q.curStart = 0, 0
+	for _, e := range all {
+		q.push(e)
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCalQueueMatchesHeapOrder drives the calendar queue and the 4-ary
+// heap through an identical randomized push/pop/remove workload on the
+// same event structs and asserts they dequeue the same events in the
+// same order — the bakeoff is only valid if the contender preserves
+// the kernel's (at, prio, seq) total order exactly.
+func TestCalQueueMatchesHeapOrder(t *testing.T) {
+	rng := NewRNG(42)
+	heap := &eventHeap{}
+	cal := newCalQueue(time.Microsecond, 8)
+
+	var seq uint64
+	var live []*event
+	now := time.Duration(0)
+	push := func(at time.Duration, prio int32) {
+		seq++
+		e := &event{at: at, prio: prio, seq: seq, index: -1}
+		heap.push(e)
+		cal.push(e)
+		live = append(live, e)
+	}
+	drop := func(e *event) {
+		for i, x := range live {
+			if x == e {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+		t.Fatalf("popped event not in live set")
+	}
+
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0:
+			// Mixed horizon: mostly near-future, occasionally a
+			// far-future timer (the RTO shape) and exact ties.
+			at := now + time.Duration(int64(rng.Intn(int(50*time.Microsecond))))
+			if op == 0 {
+				at = now + time.Hour
+			}
+			push(at, int32(rng.Intn(3)-1))
+		case op < 8:
+			he := heap.popMin()
+			ce := cal.popMin()
+			if he != ce {
+				t.Fatalf("step %d: heap popped (at=%v prio=%d seq=%d), calendar popped (at=%v prio=%d seq=%d)",
+					i, he.at, he.prio, he.seq, ce.at, ce.prio, ce.seq)
+			}
+			if he.at < now {
+				t.Fatalf("step %d: time went backwards: %v < %v", i, he.at, now)
+			}
+			now = he.at
+			drop(he)
+		default:
+			// Cancel a random pending event from both structures.
+			e := live[int64(rng.Intn(len(live)))]
+			heap.remove(int(e.index))
+			if !cal.remove(e) {
+				t.Fatalf("step %d: calendar queue lost a live event", i)
+			}
+			drop(e)
+		}
+		if len(*heap) != cal.len() {
+			t.Fatalf("step %d: heap has %d events, calendar %d", i, len(*heap), cal.len())
+		}
+	}
+	// Drain: the full remaining order must agree.
+	for cal.len() > 0 {
+		if he, ce := heap.popMin(), cal.popMin(); he != ce {
+			t.Fatalf("drain: heap popped seq %d, calendar seq %d", he.seq, ce.seq)
+		}
+	}
+	if len(*heap) != 0 {
+		t.Fatalf("heap still has %d events after calendar drained", len(*heap))
+	}
+}
+
+// TestCalQueueResizeKeepsOrder pushes far past the initial bucket
+// count so the queue rebuilds several times, then checks the drain
+// order is globally sorted.
+func TestCalQueueResizeKeepsOrder(t *testing.T) {
+	rng := NewRNG(7)
+	cal := newCalQueue(time.Microsecond, 4)
+	for i := 0; i < 5000; i++ {
+		cal.push(&event{
+			at:    time.Duration(int64(rng.Intn(int(time.Second)))),
+			prio:  int32(rng.Intn(3) - 1),
+			seq:   uint64(i),
+			index: -1,
+		})
+	}
+	var prev *event
+	for cal.len() > 0 {
+		e := cal.popMin()
+		if prev != nil && eventHeap(nil).less(e, prev) {
+			t.Fatalf("order violated: (at=%v prio=%d seq=%d) after (at=%v prio=%d seq=%d)",
+				e.at, e.prio, e.seq, prev.at, prev.prio, prev.seq)
+		}
+		prev = e
+	}
+}

@@ -176,6 +176,7 @@ type Kernel struct {
 	cur     *Proc
 	stopped bool
 	err     error
+	ran     uint64
 	metrics *metrics.Registry
 	tracer  *spans.Tracer
 }
@@ -191,6 +192,11 @@ func New(seed int64) *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
+
+// EventsRun returns the number of events the kernel has executed. The
+// fluid-vs-packet validation ablation uses it to report how much event
+// volume the hybrid mode removes.
+func (k *Kernel) EventsRun() uint64 { return k.ran }
 
 // Metrics returns the kernel's metrics registry; every subsystem
 // built on this kernel registers its series and emits flight-recorder
@@ -346,6 +352,7 @@ func (k *Kernel) run(deadline time.Duration) error {
 			panic("sim: time went backwards")
 		}
 		k.now = next.at
+		k.ran++
 		// Recycle before invoking: the callback may schedule new
 		// events, which can then reuse this struct, and any Timer
 		// handle to this event must already read as fired.

@@ -14,6 +14,44 @@ import (
 	"mpichgq/internal/units"
 )
 
+// Background is a background contention generator: the packet-level
+// UDP blaster and the fluid blaster implement it, so figure configs
+// select the simulation mode instead of constructing blasters inline.
+type Background interface {
+	// Run attaches the generator to src targeting dst's port and
+	// schedules its traffic. It returns immediately.
+	Run(src, dst *netsim.Node, port netsim.Port) error
+	// Sent returns the datagrams (or datagram-equivalents) offered so
+	// far.
+	Sent() int64
+}
+
+// BackgroundOptions parameterizes NewBackground.
+type BackgroundOptions struct {
+	// Rate is the offered load. Required.
+	Rate units.BitRate
+	// PacketSize is the datagram payload size. Default 1000 bytes.
+	PacketSize units.ByteSize
+	// Jitter randomizes packet-mode inter-packet gaps by ±fraction.
+	// Fluid mode has no per-packet events to jitter; it is ignored
+	// there.
+	Jitter float64
+	// Start and Stop bound the blasting window; Stop 0 = forever.
+	Start, Stop time.Duration
+	// Fluid selects the fluid blaster (rate installed analytically at
+	// queues) instead of the packet-level one.
+	Fluid bool
+}
+
+// NewBackground returns the blaster the options select: the same
+// seeded schedule runs either packet-level or as fluid.
+func NewBackground(o BackgroundOptions) Background {
+	if o.Fluid {
+		return &FluidBlaster{Rate: o.Rate, PacketSize: o.PacketSize, Start: o.Start, Stop: o.Stop}
+	}
+	return &UDPBlaster{Rate: o.Rate, PacketSize: o.PacketSize, Jitter: o.Jitter, Start: o.Start, Stop: o.Stop}
+}
+
 // UDPBlaster floods a destination with best-effort UDP datagrams at a
 // configured rate.
 type UDPBlaster struct {
@@ -74,6 +112,59 @@ func (b *UDPBlaster) Run(src, dst *netsim.Node, port netsim.Port) error {
 
 // Sent returns the number of datagrams offered so far.
 func (b *UDPBlaster) Sent() int64 { return b.sent }
+
+// FluidBlaster is the fluid-mode counterpart of UDPBlaster: the same
+// offered rate over the same window, but modeled as a netsim.FluidFlow
+// whose rate is installed analytically at every queue on the path. Its
+// only kernel events are the start and stop rate changes.
+type FluidBlaster struct {
+	// Rate is the offered load. Required.
+	Rate units.BitRate
+	// PacketSize is the payload size of the notional datagrams; it
+	// sets the service quantum foreground packets see. Default 1000.
+	PacketSize units.ByteSize
+	// Start and Stop bound the blasting window; Stop 0 = forever.
+	Start, Stop time.Duration
+
+	flow *netsim.FluidFlow
+}
+
+// Run declares the fluid flow and schedules its start/stop rate
+// changes. It returns immediately.
+func (b *FluidBlaster) Run(src, dst *netsim.Node, port netsim.Port) error {
+	if b.Rate <= 0 {
+		return fmt.Errorf("trafficgen: blaster needs a positive rate")
+	}
+	if b.PacketSize == 0 {
+		b.PacketSize = 1000
+	}
+	net := src.Network()
+	k := net.Kernel()
+	name := fmt.Sprintf("blaster-%s->%s", src.Name(), dst.Name())
+	b.flow = net.NewFluidFlow(name, src, dst, port, b.Rate, b.PacketSize)
+	k.AtFunc(b.Start, sim.PrioNet, fluidBlasterStart, b.flow, nil)
+	if b.Stop > 0 {
+		k.AtFunc(b.Stop, sim.PrioNet, fluidBlasterStop, b.flow, nil)
+	}
+	return nil
+}
+
+// fluidBlasterStart and fluidBlasterStop are prebound rate-change
+// callbacks.
+func fluidBlasterStart(a0, _ any) { a0.(*netsim.FluidFlow).Start() }
+func fluidBlasterStop(a0, _ any)  { a0.(*netsim.FluidFlow).Stop() }
+
+// Sent returns the datagram-equivalents offered so far (offered bytes
+// divided by the payload size).
+func (b *FluidBlaster) Sent() int64 {
+	if b.flow == nil {
+		return 0
+	}
+	return int64(b.flow.OfferedBytes() / b.PacketSize)
+}
+
+// Flow returns the underlying fluid flow (nil before Run).
+func (b *FluidBlaster) Flow() *netsim.FluidFlow { return b.flow }
 
 // CPUHog occupies a CPU with continuous best-effort computation
 // between Start and Stop (Stop 0 = forever), emulating "a
