@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-chaos bench bench-json bench-guard smoke-gqd results figures examples clean
+.PHONY: all build vet lint lint-json test-analysis test test-short test-chaos bench bench-json bench-guard smoke-gqd results figures examples clean
 
 all: build vet lint test
 
@@ -15,12 +15,26 @@ vet:
 	$(GO) test -race -short ./internal/netsim/... ./internal/tcpsim/... ./internal/ctrlplane/...
 
 # Custom analyzer suite (internal/analysis, driven by cmd/gqlint):
-# determinism, poolownership, hotpathalloc, unitsafety. Must exit 0 on
-# the whole tree; violations are either fixed or carry an inline
-# //lint:ignore justification. See docs/static-analysis.md.
+# determinism, poolownership, spanlifecycle, hotpathalloc, unitsafety,
+# shardsafety. Must exit 0 on the whole tree; violations are either
+# fixed or carry an inline //lint:ignore justification (stale
+# directives are findings too). See docs/static-analysis.md.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/gqlint ./...
+
+# CI variant: same gate, but the full diagnostic inventory — including
+# suppressed findings — is archived as JSON Lines for artifact upload.
+GQLINT_JSON ?= gqlint-diagnostics.jsonl
+lint-json:
+	$(GO) vet ./...
+	$(GO) run ./cmd/gqlint -json ./... > $(GQLINT_JSON)
+	@echo "gqlint: $$(wc -l < $(GQLINT_JSON)) diagnostic record(s) in $(GQLINT_JSON)"
+
+# The analyzer framework's own tests: loader, suppression/stale logic,
+# call graph, summaries, each analyzer's // want fixtures.
+test-analysis:
+	$(GO) test ./internal/analysis/... ./cmd/gqlint/
 
 test:
 	$(GO) test ./... -timeout 1800s

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+
+	"mpichgq/internal/analysis"
+)
+
+// jsonDiagnostic is the wire form of one finding in -json mode: one
+// object per output line (JSON Lines), so CI can collect the full
+// diagnostic inventory — including suppressed findings, which the text
+// mode hides — as a build artifact and diff it between revisions.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// writeJSON encodes diags to w, one JSON object per line, in the order
+// given (RunAll output is already position-sorted).
+func writeJSON(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		jd := jsonDiagnostic{
+			File:       pos.Filename,
+			Line:       pos.Line,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,17 +1,24 @@
 // Command gqlint is the multichecker driver for the repository's
 // custom analyzer suite (internal/analysis): determinism,
-// poolownership, spanlifecycle, hotpathalloc, and unitsafety. It loads and
+// poolownership, spanlifecycle, hotpathalloc, unitsafety, and
+// shardsafety. It loads and
 // type-checks packages with only the standard library (no module
 // proxy required), applies every analyzer, honours //lint:ignore
 // suppressions, and exits nonzero if any diagnostic remains.
 //
 // Usage:
 //
-//	gqlint [-tests] [-only name,name] [-help-analyzers] packages...
+//	gqlint [-tests] [-only name,name] [-json] [-keep-stale] [-help-analyzers] packages...
 //
 // where packages are directories or `./...` patterns, e.g.
 //
 //	go run ./cmd/gqlint ./...
+//
+// -json emits one JSON object per diagnostic (file, line, analyzer,
+// message, suppressed) including suppressed findings, so CI can archive
+// the full inventory. Stale //lint:ignore directives — ones that no
+// longer suppress anything — are reported as findings unless
+// -keep-stale is given.
 //
 // See docs/static-analysis.md for the invariant catalogue and the
 // suppression policy.
@@ -21,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mpichgq/internal/analysis"
 	"mpichgq/internal/analysis/determinism"
 	"mpichgq/internal/analysis/hotpathalloc"
 	"mpichgq/internal/analysis/poolownership"
+	"mpichgq/internal/analysis/shardsafety"
 	"mpichgq/internal/analysis/spanlifecycle"
 	"mpichgq/internal/analysis/unitsafety"
 )
@@ -35,6 +44,7 @@ var all = []*analysis.Analyzer{
 	determinism.Analyzer,
 	hotpathalloc.Analyzer,
 	poolownership.Analyzer,
+	shardsafety.Analyzer,
 	spanlifecycle.Analyzer,
 	unitsafety.Analyzer,
 }
@@ -42,6 +52,8 @@ var all = []*analysis.Analyzer{
 func main() {
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON Lines, including suppressed findings")
+	keepStale := flag.Bool("keep-stale", false, "do not report stale //lint:ignore directives")
 	describe := flag.Bool("help-analyzers", false, "print each analyzer's documentation and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gqlint [flags] packages...\n\npatterns are directories or ./... forms\n\nanalyzers:\n")
@@ -94,16 +106,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	ran := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		ran[i] = a.Name
+	}
+
 	found := 0
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+		diags, err := analysis.RunAll(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gqlint: %v\n", err)
 			os.Exit(2)
 		}
+		if !*keepStale {
+			stale := analysis.StaleSuppressions(pkg, diags, ran, *only == "")
+			if len(stale) > 0 {
+				diags = append(diags, stale...)
+				sort.Slice(diags, func(i, j int) bool {
+					if diags[i].Pos != diags[j].Pos {
+						return diags[i].Pos < diags[j].Pos
+					}
+					return diags[i].Analyzer < diags[j].Analyzer
+				})
+			}
+		}
+		if *jsonOut {
+			if err := writeJSON(os.Stdout, pkg.Fset, diags); err != nil {
+				fmt.Fprintf(os.Stderr, "gqlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			if d.Suppressed {
+				continue
+			}
+			if !*jsonOut {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			}
 			found++
 		}
 	}

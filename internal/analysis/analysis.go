@@ -22,6 +22,16 @@
 //   - unitsafety:    no dimension-mixing arithmetic or bare numeric
 //     literals where internal/units (or time.Duration) types are
 //     expected.
+//   - spanlifecycle: every Tracer.Begin result reaches End/EndStatus
+//     or a handoff on every path.
+//   - shardsafety:   single-kernel ownership in kernel-driven packages
+//     — the invariant the sharded-PDES refactor depends on.
+//
+// The ownership analyses are interprocedural within a package: the
+// callgraph and summary subpackages compute per-function may-facts
+// (settles, escapes, stored-global, go-captured) to a fixpoint over
+// strongly connected components, and analyzers refine their call-site
+// treatment with them.
 package analysis
 
 import (
@@ -80,15 +90,36 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 }
 
 // A Diagnostic is one finding, positioned in the shared FileSet.
+// Suppressed marks findings silenced by a //lint:ignore directive;
+// Run drops them, RunAll keeps them marked so drivers can audit the
+// suppression inventory (gqlint -json emits them).
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos        token.Pos
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 // Run applies each analyzer to pkg and returns the diagnostics that
 // survive //lint:ignore suppression, sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := RunAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll applies each analyzer to pkg and returns every diagnostic,
+// sorted by position, with suppressed findings marked rather than
+// dropped.
+func RunAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -104,7 +135,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
-	diags = Suppress(pkg, diags)
+	MarkSuppressed(pkg, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos

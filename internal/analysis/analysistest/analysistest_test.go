@@ -1,0 +1,45 @@
+package analysistest
+
+import (
+	"go/ast"
+	"testing"
+
+	"mpichgq/internal/analysis"
+)
+
+// boom reports every call to a function named Boom — the minimal
+// analyzer that exercises the harness itself.
+var boom = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "reports calls to functions named Boom",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "Boom" {
+						pass.Reportf(call.Pos(), "call to Boom")
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.Name == "Boom" {
+						pass.Reportf(call.Pos(), "call to Boom")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultiFileAndMultiPackageFixtures is the harness regression test:
+// wants must be collected across all files of a fixture package ("a"
+// has two), and a fixture package may import another by its bare
+// synthetic path ("b" imports "a") with wants checked per package.
+func TestMultiFileAndMultiPackageFixtures(t *testing.T) {
+	Run(t, "testdata", boom, "a", "b")
+}

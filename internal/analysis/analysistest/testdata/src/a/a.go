@@ -1,0 +1,11 @@
+// Package a is the analysistest self-test fixture: the boom analyzer
+// reports every call to a function named Boom.
+package a
+
+func Boom() {}
+
+func trigger() {
+	Boom() // want `call to Boom`
+}
+
+func quiet() {}

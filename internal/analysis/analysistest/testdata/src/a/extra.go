@@ -1,0 +1,7 @@
+// Second file of package a: wants must be collected across every file
+// of a fixture package, not just the first.
+package a
+
+func triggerAgain() {
+	Boom() // want `call to Boom`
+}

@@ -1,0 +1,15 @@
+// Package b imports fixture package a by its bare synthetic path: the
+// multi-package fixture shape. The analyzer must see through the
+// import and wants here must be checked independently of a's.
+package b
+
+import "a"
+
+func cross() {
+	a.Boom() // want `call to Boom`
+}
+
+func quiet() int {
+	a.Boom() // want `call to Boom`
+	return 0
+}

@@ -1,0 +1,40 @@
+// Package a is the fixture for the callgraph package: a small mix of
+// plain functions, methods, mutual recursion, and dynamic calls that
+// must not produce edges.
+package a
+
+type worker struct{ n int }
+
+func (w *worker) step() { w.n++ }
+
+func (w *worker) run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		w.step()
+	}
+	finish(w)
+}
+
+func finish(w *worker) { report(w.n) }
+
+func report(n int) {}
+
+// Mutual recursion: ping and pong form one SCC.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) { ping(n) }
+
+// Dynamic calls: no edges.
+func dynamic(fn func(), w interface{ Do() }) {
+	fn()
+	w.Do()
+}
+
+// root calls into both halves of the graph.
+func root(w *worker) {
+	w.run(3)
+	ping(2)
+}

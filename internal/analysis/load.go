@@ -1,15 +1,19 @@
 package analysis
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -34,6 +38,11 @@ type Loader struct {
 	Fset    *token.FileSet
 	modRoot string
 	modPath string
+	// srcDir is the testdata GOPATH-style source root (<dir>/src) when
+	// the loader was created on a testdata directory. Packages under it
+	// get bare synthetic import paths ("a", "b/helper") and can import
+	// each other by those paths, mirroring upstream analysistest.
+	srcDir string
 
 	// IncludeTests makes LoadDir also parse _test.go files (only the
 	// in-package ones; external _test packages are skipped).
@@ -89,7 +98,15 @@ func NewLoader(dir string) (*Loader, error) {
 		loading: make(map[string]bool),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if src := filepath.Join(abs, "src"); dirExists(src) {
+		l.srcDir = src
+	}
 	return l, nil
+}
+
+func dirExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
 }
 
 // ModuleRoot returns the directory containing go.mod.
@@ -112,6 +129,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	// Bare fixture imports resolve against the testdata src root, so
+	// multi-package fixtures can import each other ("a" importing
+	// "a/helper" or "b").
+	if l.srcDir != "" {
+		if dir := filepath.Join(l.srcDir, filepath.FromSlash(path)); dirExists(dir) {
+			pkg, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
 	}
 	return l.std.ImportFrom(path, l.modRoot, 0)
 }
@@ -146,6 +175,9 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if buildExcluded(filepath.Join(abs, name)) {
 			continue
 		}
 		names = append(names, name)
@@ -231,6 +263,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 }
 
 func (l *Loader) importPathFor(abs string) string {
+	// Packages under a testdata src root keep their src-relative path
+	// as a synthetic import path ("a", "b/helper"), never a real module
+	// path — fixtures must not look like the packages they mirror.
+	if l.srcDir != "" {
+		if rel, err := filepath.Rel(l.srcDir, abs); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
 	rel, err := filepath.Rel(l.modRoot, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
 		// Outside the module (e.g. a testdata GOPATH layout): use the
@@ -273,7 +313,7 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 					return nil
 				}
 				base := filepath.Base(path)
-				if base == "testdata" || (strings.HasPrefix(base, ".") && path != root) || strings.HasPrefix(base, "_") {
+				if base == "testdata" || base == "vendor" || (strings.HasPrefix(base, ".") && path != root) || strings.HasPrefix(base, "_") {
 					return filepath.SkipDir
 				}
 				if hasGoFiles(path) {
@@ -300,6 +340,61 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// buildExcluded reports whether the file's //go:build constraint (in
+// the header, before the package clause) excludes it from this build:
+// `//go:build ignore` scripts, other-OS files, and so on. Tags are
+// evaluated against the running toolchain's GOOS, GOARCH, and go1.N
+// release tags; legacy // +build lines without a //go:build line are
+// not interpreted. Unreadable files are left in so LoadDir reports the
+// real error.
+func buildExcluded(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return false
+				}
+				return !expr.Eval(buildTagSatisfied)
+			}
+			continue
+		}
+		// First non-comment, non-blank line: the constraint window (and
+		// with it the package clause or a /* block, which no gofmt'd
+		// constraint follows) is over.
+		return false
+	}
+	return false
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, runtime.Compiler:
+		return true
+	}
+	rest, ok := strings.CutPrefix(tag, "go1.")
+	if !ok {
+		return false
+	}
+	minor, err := strconv.Atoi(rest)
+	if err != nil {
+		return false
+	}
+	cur, err := strconv.Atoi(strings.SplitN(strings.TrimPrefix(runtime.Version(), "go1."), ".", 2)[0])
+	if err != nil {
+		// Development toolchains ("devel ..."): release tags unknown.
+		return false
+	}
+	return minor <= cur
+}
+
 func hasGoFiles(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -307,7 +402,8 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") && !strings.HasSuffix(name, "_test.go") &&
+			!buildExcluded(filepath.Join(dir, name)) {
 			return true
 		}
 	}

@@ -12,6 +12,18 @@
 // rather than guess, so it reports no false positives from aliasing,
 // at the cost of missing leaks through aliases.
 //
+// When Rules.Summaries is set, calls to functions declared in the same
+// package are interpreted through their interprocedural summaries
+// (internal/analysis/summary) instead of the blanket hand-off
+// contract: a helper that settles its parameter (frees the packet,
+// ends the span) settles the tracked variable at the call site — so a
+// later duplicate settle is a reported double free — a helper that
+// stores or otherwise escapes it is a hand-off as before, and a helper
+// that merely reads it leaves ownership with the caller, so dropping
+// the resource after such a call is now a reported leak. Calls that do
+// not resolve to a declared same-package function keep the
+// conservative hand-off behaviour.
+//
 // What counts as an allocation and what settles it are supplied by
 // the caller through Rules; poolownership (packet/segment freelists)
 // and spanlifecycle (causal span Begin/End) are both thin
@@ -24,6 +36,7 @@ import (
 	"go/types"
 
 	"mpichgq/internal/analysis"
+	"mpichgq/internal/analysis/summary"
 )
 
 // Rules configures the engine for one resource discipline.
@@ -46,6 +59,12 @@ type Rules struct {
 	// ReportDiscard reports an allocation evaluated and discarded as a
 	// bare statement (never bound, never settled).
 	ReportDiscard bool
+	// Summaries, when set, refines calls to same-package functions
+	// through their interprocedural summaries: settle-through-helper
+	// settles, escape-through-helper hands off, and a read-only callee
+	// leaves ownership with the caller. The summary set must be
+	// computed for the same pass with a recognizer matching Settle.
+	Summaries *summary.Set
 }
 
 // Run applies the discipline described by r to every function in the
@@ -440,6 +459,87 @@ func (a *interp) execAssign(s *ast.AssignStmt, e env) env {
 	return e
 }
 
+// applySummary interprets a call through the callee's interprocedural
+// summary, when one is available. Returns false when the call must
+// fall back to the conservative hand-off treatment.
+func (a *interp) applySummary(call *ast.CallExpr, e env) bool {
+	if a.rules.Summaries == nil {
+		return false
+	}
+	fs := a.rules.Summaries.Callee(call)
+	if fs == nil {
+		return false
+	}
+
+	// Method receiver: a callee that settles its receiver on every
+	// summarised path settles the tracked variable; anything else
+	// keeps the long-standing receiver-is-only-read treatment (fluent
+	// setters return their receiver, which must not count as an
+	// escape).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if v := trackedIdent(a.pass, sel.X, e); v != nil &&
+			fs.Recv&summary.Settles != 0 && fs.Recv&summary.Escapes == 0 {
+			a.settleTracked(call, v, fs.Fn.Name(), e)
+		} else {
+			a.scanExpr(sel.X, e)
+		}
+	} else {
+		a.scanExpr(call.Fun, e)
+	}
+
+	for i, arg := range call.Args {
+		v := trackedIdent(a.pass, arg, e)
+		if v == nil {
+			a.scanExpr(arg, e)
+			continue
+		}
+		facts, mapped := fs.ArgFacts(i, len(call.Args), call.Ellipsis.IsValid())
+		switch {
+		case !mapped || facts&summary.Escapes != 0:
+			// Unmappable position or the callee escapes it: hand-off,
+			// exactly as before.
+			delete(e, v)
+		case facts&summary.Settles != 0:
+			// The callee settles it (frees the packet, ends the span).
+			a.settleTracked(call, v, fs.Fn.Name(), e)
+		default:
+			// Read-only callee: ownership stays with the caller, so a
+			// later drop is still a leak.
+		}
+	}
+	return true
+}
+
+// settleTracked marks v settled at call, reporting a double settle
+// when the discipline forbids one.
+func (a *interp) settleTracked(call *ast.CallExpr, v *types.Var, callee string, e env) {
+	t, ok := e[v]
+	if !ok {
+		return
+	}
+	if t.mask&released != 0 && a.rules.ReportDouble {
+		a.pass.Reportf(call.Pos(), "%s settles this %s result again (%s)", callee, t.what, a.rules.DoubleNote)
+	}
+	t.mask = released
+}
+
+// trackedIdent returns the tracked variable x directly refers to, or
+// nil.
+func trackedIdent(pass *analysis.Pass, x ast.Expr, e env) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.ObjectOf(id).(*types.Var)
+	if v == nil {
+		return nil
+	}
+	if _, tracked := e[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
 // escapeIfTracked drops x from the environment when it is a tracked
 // variable: ownership has been handed off and the analysis stops
 // second-guessing it.
@@ -471,6 +571,9 @@ func (a *interp) scanExpr(x ast.Expr, e env) {
 			for _, arg := range x.Args {
 				a.scanExpr(arg, e)
 			}
+			return
+		}
+		if a.applySummary(x, e) {
 			return
 		}
 		// Receiver is only read; arguments hand off ownership.

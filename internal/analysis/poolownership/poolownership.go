@@ -25,6 +25,7 @@ import (
 
 	"mpichgq/internal/analysis"
 	"mpichgq/internal/analysis/ownership"
+	"mpichgq/internal/analysis/summary"
 )
 
 // Analyzer reports pool-ownership violations.
@@ -60,12 +61,25 @@ var freeMethods = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	// Interprocedural summaries let the ownership engine see through
+	// same-package helpers: a freeAndLog(pkt) helper settles the
+	// packet (so a second free is a reported double free), and a
+	// helper that merely inspects it leaves ownership — and the leak
+	// obligation — with the caller.
+	sums := summary.Compute(pass, &summary.Recognizer{
+		Name: "free",
+		Match: func(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, bool) {
+			v, _, ok := freeCall(pass, call)
+			return v, ok
+		},
+	})
 	return ownership.Run(pass, ownership.Rules{
 		Alloc:        allocCall,
 		Settle:       freeCall,
 		SettleName:   func(what string) string { return allocMethods[what] },
 		ReportDouble: true,
 		DoubleNote:   "double free corrupts the freelist",
+		Summaries:    sums,
 	})
 }
 

@@ -15,8 +15,12 @@ type pool struct {
 }
 
 func (n *pool) AllocPacket() *packet { return &packet{} }
-func (n *pool) FreePacket(p *packet) {}
-func (n *pool) deliver(p *packet)    {}
+func (n *pool) FreePacket(p *packet) { n.free = append(n.free, p) }
+
+// deliver consumes the packet (stores it), so passing to it is a real
+// hand-off under the interprocedural engine — mirroring netsim's
+// deliver/enqueue helpers, which always store or free.
+func (n *pool) deliver(p *packet) { n.held = p }
 
 // --- leaks ---
 
@@ -26,7 +30,7 @@ func straightLineLeak(n *pool) {
 }
 
 func earlyReturnLeak(n *pool, drop bool) {
-	p := n.AllocPacket() // want `AllocPacket result may leak: this path \(line 31\)`
+	p := n.AllocPacket() // want `AllocPacket result may leak: this path \(line 35\)`
 	if drop {
 		return // leaks p
 	}

@@ -1,0 +1,97 @@
+// Interprocedural cases: the summary layer tracks frees and hand-offs
+// through same-package helpers, including across fixture files (this
+// file's functions call helpers defined here and types from a.go).
+package a
+
+// freeAndLog frees its packet — callers passing a packet here have
+// settled it, exactly as if they called FreePacket themselves.
+func freeAndLog(n *pool, p *packet) {
+	n.FreePacket(p)
+}
+
+// recycle settles transitively: two helper hops deep.
+func recycle(n *pool, p *packet) {
+	freeAndLog(n, p)
+}
+
+// inspect only reads the packet: ownership stays with the caller.
+func inspect(p *packet) int {
+	return p.size
+}
+
+// stash consumes: the packet lands in package state.
+var stashed *packet
+
+func stash(p *packet) { stashed = p }
+
+// --- leaks only an interprocedural pass can catch ---
+
+func readOnlyHelperLeak(n *pool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak`
+	_ = inspect(p)       // inspect only reads p: the free obligation stays here
+}
+
+func readOnlyThenEarlyReturnLeak(n *pool, drop bool) {
+	p := n.AllocPacket() // want `AllocPacket result may leak: this path \(line 38\)`
+	if drop {
+		_ = inspect(p)
+		return // inspect did not consume p: this path leaks it
+	}
+	n.FreePacket(p)
+}
+
+// --- frees through helpers are settles, not blind hand-offs ---
+
+func freeViaHelper(n *pool) {
+	p := n.AllocPacket()
+	freeAndLog(n, p) // helper frees: settled, no leak
+}
+
+func freeViaHelperChain(n *pool) {
+	p := n.AllocPacket()
+	recycle(n, p) // settled two hops deep
+}
+
+func doubleFreeViaHelper(n *pool) {
+	p := n.AllocPacket()
+	freeAndLog(n, p)
+	n.FreePacket(p) // want `FreePacket may be called twice`
+}
+
+func helperThenHelperDoubleFree(n *pool) {
+	p := n.AllocPacket()
+	freeAndLog(n, p)
+	recycle(n, p) // want `recycle settles this AllocPacket result again`
+}
+
+// --- consuming helpers still hand off ---
+
+func stashHandoff(n *pool) {
+	p := n.AllocPacket()
+	stash(p) // stored in package state: hand-off, no leak here
+}
+
+func readThenFree(n *pool) {
+	p := n.AllocPacket()
+	_ = inspect(p) // read-only: still ours
+	n.FreePacket(p)
+}
+
+// --- mutual recursion through the SCC fixpoint ---
+
+func pingFree(n *pool, p *packet, depth int) {
+	if depth <= 0 {
+		n.FreePacket(p)
+		return
+	}
+	pongFree(n, p, depth-1)
+}
+
+func pongFree(n *pool, p *packet, depth int) {
+	pingFree(n, p, depth)
+}
+
+func mutualRecursionFree(n *pool) {
+	p := n.AllocPacket()
+	pingFree(n, p, 3) // the ping/pong SCC settles p
+}

@@ -4,11 +4,17 @@ package seg
 
 type segment struct{ len int }
 
-type stack struct{ free []*segment }
+type stack struct {
+	free     []*segment
+	inflight *segment
+}
 
-func (s *stack) allocSeg() *segment  { return &segment{} }
-func (s *stack) freeSeg(g *segment)  {}
-func (s *stack) transmit(g *segment) {}
+func (s *stack) allocSeg() *segment { return &segment{} }
+func (s *stack) freeSeg(g *segment) { s.free = append(s.free, g) }
+
+// transmit consumes the segment (stores it for retransmission), so
+// passing to it hands ownership off, as in the real tcpsim.
+func (s *stack) transmit(g *segment) { s.inflight = g }
 
 func leak(s *stack, skip bool) {
 	g := s.allocSeg() // want `allocSeg result may leak`

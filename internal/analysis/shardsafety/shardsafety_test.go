@@ -1,0 +1,27 @@
+package shardsafety
+
+import (
+	"testing"
+
+	"mpichgq/internal/analysis/analysistest"
+)
+
+func TestShardSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "shard")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mpichgq/internal/sim":      true,
+		"mpichgq/internal/netsim":   true,
+		"mpichgq/internal/faults":   true,
+		"shard":                     true, // fixture package: bare path
+		"mpichgq/internal/metrics":  false,
+		"mpichgq/internal/analysis": false,
+		"mpichgq/cmd/qsim":          false,
+	} {
+		if got := scoped(path); got != want {
+			t.Errorf("scoped(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"mpichgq/internal/analysis"
 	"mpichgq/internal/analysis/ownership"
+	"mpichgq/internal/analysis/summary"
 )
 
 // Analyzer reports span-lifecycle violations.
@@ -58,11 +59,23 @@ var endMethods = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	// Interprocedural summaries track End/EndStatus through
+	// same-package helpers: closeWith(sp, st) settles the span, while
+	// a helper that only reads it leaves the close obligation — and
+	// the leak report — with the caller.
+	sums := summary.Compute(pass, &summary.Recognizer{
+		Name: "end",
+		Match: func(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, bool) {
+			v, _, ok := endCall(pass, call)
+			return v, ok
+		},
+	})
 	return ownership.Run(pass, ownership.Rules{
 		Alloc:         beginCall,
 		Settle:        endCall,
 		SettleName:    func(string) string { return "End/EndStatus" },
 		ReportDiscard: true,
+		Summaries:     sums,
 	})
 }
 

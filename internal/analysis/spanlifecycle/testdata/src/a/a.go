@@ -27,7 +27,12 @@ type holder struct {
 	sp *Span
 }
 
-func consume(sp *Span) {}
+// consume stores the span for a later phase to close — a real
+// hand-off under the interprocedural engine, like the multi-phase
+// lifecycles in gara/tcpsim.
+var parked *Span
+
+func consume(sp *Span) { parked = sp }
 
 // --- leaks ---
 
@@ -37,7 +42,7 @@ func straightLineLeak(tr *Tracer) {
 }
 
 func earlyReturnLeak(tr *Tracer, fail bool) {
-	sp := tr.Begin(1, 0, "op", "subj") // want `Begin result may leak: this path \(line 42\)`
+	sp := tr.Begin(1, 0, "op", "subj") // want `Begin result may leak: this path \(line 47\)`
 	if fail {
 		return // leaks sp
 	}

@@ -1,0 +1,65 @@
+// Interprocedural cases: End/EndStatus tracked through same-package
+// helpers, across fixture files.
+package a
+
+// closeSpan ends its span: callers have settled it.
+func closeSpan(sp *Span) { sp.End() }
+
+// closeWithStatus settles through a fluent chain inside the helper.
+func closeWithStatus(sp *Span, st Status) {
+	sp.Int("status", int64(st)).EndStatus(st)
+}
+
+// closeNested settles two helper hops deep.
+func closeNested(sp *Span) { closeSpan(sp) }
+
+// peek only reads the span: the close obligation stays with the
+// caller.
+func peek(sp *Span) uint64 { return sp.SpanID() }
+
+// --- leaks only an interprocedural pass can catch ---
+
+func readOnlyHelperLeak(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj") // want `Begin result may leak`
+	_ = peek(sp)                       // peek does not close sp
+}
+
+func peekThenReturnLeak(tr *Tracer, fail bool) {
+	sp := tr.Begin(1, 0, "op", "subj") // want `Begin result may leak: this path \(line 31\)`
+	if fail {
+		_ = peek(sp)
+		return // peek did not consume sp: this path leaks the span
+	}
+	sp.End()
+}
+
+// --- closes through helpers settle ---
+
+func endViaHelper(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj")
+	closeSpan(sp) // helper ends it: settled
+}
+
+func endViaHelperChain(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj")
+	closeNested(sp) // settled two hops deep
+}
+
+func endViaStatusHelper(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj")
+	closeWithStatus(sp, Status(2))
+}
+
+func peekThenEnd(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj")
+	_ = peek(sp) // read-only: still ours
+	sp.End()
+}
+
+// doubleCloseThroughHelperAllowed: End is idempotent, so settling via
+// a helper and then closing directly is fine.
+func doubleCloseThroughHelperAllowed(tr *Tracer) {
+	sp := tr.Begin(1, 0, "op", "subj")
+	closeSpan(sp)
+	sp.End()
+}

@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -14,6 +17,10 @@ import (
 // suppress anything — and "*" matches every analyzer. The catalogue of
 // accepted suppressions lives in docs/static-analysis.md; CI treats an
 // unjustified or stale directive as reviewable like any other code.
+//
+// A directive that no longer silences anything is itself a finding:
+// StaleSuppressions reports it, so dead directives get deleted instead
+// of quietly granting future violations a free pass.
 
 type suppression struct {
 	analyzers []string // nil means malformed (ignored)
@@ -42,19 +49,24 @@ func parseSuppression(text string) (suppression, bool) {
 	return suppression{analyzers: strings.Split(fields[0], ",")}, true
 }
 
-// Suppress filters diags through the package's //lint:ignore
-// directives.
-func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// file -> line -> directives that cover that line.
-	covered := make(map[string]map[int][]suppression)
-	add := func(file string, line int, s suppression) {
-		m := covered[file]
-		if m == nil {
-			m = make(map[int][]suppression)
-			covered[file] = m
-		}
-		m[line] = append(m[line], s)
-	}
+// A directive is one parsed //lint:ignore comment, with the (file,
+// line) span it covers: its own line (trailing-comment form) and the
+// following line (standalone form).
+type directive struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+}
+
+func (d *directive) covers(file string, line int) bool {
+	return d.file == file && (line == d.line || line == d.line+1)
+}
+
+// collectDirectives parses every //lint:ignore directive in pkg, in
+// file/position order.
+func collectDirectives(pkg *Package) []*directive {
+	var out []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -63,30 +75,113 @@ func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				// The directive covers its own line (trailing-comment
-				// form) and the following line (standalone form).
-				add(pos.Filename, pos.Line, s)
-				add(pos.Filename, pos.Line+1, s)
+				out = append(out, &directive{
+					pos:       c.Pos(),
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: s.analyzers,
+				})
 			}
 		}
 	}
-	if len(covered) == 0 {
-		return diags
+	return out
+}
+
+// MarkSuppressed sets Suppressed on every diagnostic covered by a
+// matching //lint:ignore directive, in place.
+func MarkSuppressed(pkg *Package, diags []Diagnostic) {
+	dirs := collectDirectives(pkg)
+	if len(dirs) == 0 {
+		return
 	}
-	out := diags[:0]
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		dropped := false
-		for _, s := range covered[pos.Filename][pos.Line] {
-			if s.matches(d.Analyzer) {
-				dropped = true
+	for i := range diags {
+		pos := pkg.Fset.Position(diags[i].Pos)
+		for _, d := range dirs {
+			if d.covers(pos.Filename, pos.Line) && (suppression{d.analyzers}).matches(diags[i].Analyzer) {
+				diags[i].Suppressed = true
 				break
 			}
 		}
-		if !dropped {
+	}
+}
+
+// Suppress filters diags through the package's //lint:ignore
+// directives.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	MarkSuppressed(pkg, diags)
+	out := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
 			out = append(out, d)
 		}
 	}
+	return out
+}
+
+// StaleSuppressions reports //lint:ignore directives in pkg that did
+// not suppress any diagnostic in diags (which must be RunAll output:
+// suppressed findings marked, not dropped). ran lists the analyzers
+// that actually executed; a directive naming an analyzer that did not
+// run is skipped — its finding may simply not have been looked for.
+// When complete is true, ran is the full registered set, so a directive
+// naming an analyzer outside it is reported as naming an unknown
+// analyzer (a typo would otherwise silently suppress nothing forever).
+// Returned diagnostics carry the virtual analyzer name "suppression".
+func StaleSuppressions(pkg *Package, diags []Diagnostic, ran []string, complete bool) []Diagnostic {
+	ranSet := make(map[string]bool, len(ran))
+	for _, name := range ran {
+		ranSet[name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range collectDirectives(pkg) {
+		checkable := true
+		unknown := ""
+		for _, name := range dir.analyzers {
+			if name == "*" {
+				// A blanket directive is checkable against whatever ran.
+				continue
+			}
+			if !ranSet[name] {
+				if complete {
+					unknown = name
+				} else {
+					checkable = false
+				}
+				break
+			}
+		}
+		if unknown != "" {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "suppression",
+				Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q; fix the name or delete the directive", unknown),
+			})
+			continue
+		}
+		if !checkable {
+			continue
+		}
+		used := false
+		for i := range diags {
+			if !diags[i].Suppressed {
+				continue
+			}
+			pos := pkg.Fset.Position(diags[i].Pos)
+			if dir.covers(pos.Filename, pos.Line) && (suppression{dir.analyzers}).matches(diags[i].Analyzer) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "suppression",
+				Message: fmt.Sprintf("stale //lint:ignore %s directive: it suppresses nothing; delete it",
+					strings.Join(dir.analyzers, ",")),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }
 

@@ -1,0 +1,81 @@
+package sim
+
+import "time"
+
+// ShardExchange is the sanctioned cross-kernel communication interface
+// for the sharded multi-kernel PDES runtime (see ROADMAP: grid-scale
+// topology). In a sharded run, every piece of mutable simulation state
+// is owned by exactly one kernel; the only way data crosses a shard
+// boundary is a PostRemote call, which delivers a payload to the
+// destination shard at a virtual time no earlier than the sender's
+// Now plus the conservative lookahead (the WAN propagation delay of
+// the cut link). That discipline is what keeps a partitioned run
+// byte-identical to the single-kernel run.
+//
+// The interface lands ahead of the sharded runtime so that the
+// shardsafety analyzer (internal/analysis/shardsafety) can whitelist
+// it today: kernel-owned values may escape into an exchange
+// implementation — its PostRemote method is the one sanctioned place
+// that touches another shard's structures — and nowhere else. Code
+// written against this contract now will drop into the sharded
+// runtime unchanged.
+type ShardExchange interface {
+	// PostRemote hands payload to shard dst, to be applied at virtual
+	// time at. Implementations must deliver payloads in a
+	// deterministic order (sender shard, then post sequence) and must
+	// reject at < sender.Now() + lookahead.
+	PostRemote(dst int, at time.Duration, payload any)
+
+	// Lookahead returns the conservative synchronization horizon: the
+	// minimum virtual delay between posting and delivery. A sharded
+	// kernel may safely run to LBTS + Lookahead before blocking.
+	Lookahead() time.Duration
+}
+
+// LoopbackExchange is the degenerate single-kernel ShardExchange: it
+// posts every payload back onto its own kernel's event queue. It gives
+// pre-shard code a real exchange to write against (and the analyzer
+// fixture something to model) while the multi-kernel runtime is built.
+type LoopbackExchange struct {
+	k         *Kernel
+	lookahead time.Duration
+	apply     func(dst int, payload any)
+	seq       uint64
+}
+
+// NewLoopbackExchange wraps k. apply is invoked on the kernel's event
+// loop when a posted payload comes due.
+func NewLoopbackExchange(k *Kernel, lookahead time.Duration, apply func(dst int, payload any)) *LoopbackExchange {
+	return &LoopbackExchange{k: k, lookahead: lookahead, apply: apply}
+}
+
+// PostRemote implements ShardExchange. Delivery order among same-time
+// posts follows post sequence, so runs are reproducible.
+func (x *LoopbackExchange) PostRemote(dst int, at time.Duration, payload any) {
+	if min := x.k.Now() + x.lookahead; at < min {
+		at = min
+	}
+	x.seq++
+	x.k.AtFunc(at, PrioNet, loopbackDeliver, x, loopbackPost{dst: dst, payload: payload})
+}
+
+// Lookahead implements ShardExchange.
+func (x *LoopbackExchange) Lookahead() time.Duration { return x.lookahead }
+
+type loopbackPost struct {
+	dst     int
+	payload any
+}
+
+// loopbackDeliver is the prebound AtFunc callback (hot paths schedule
+// without allocating closures; see docs/performance.md).
+func loopbackDeliver(a0, a1 any) {
+	x := a0.(*LoopbackExchange)
+	post := a1.(loopbackPost)
+	if x.apply != nil {
+		x.apply(post.dst, post.payload)
+	}
+}
+
+// Compile-time conformance.
+var _ ShardExchange = (*LoopbackExchange)(nil)
